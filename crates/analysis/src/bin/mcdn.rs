@@ -1,0 +1,166 @@
+//! `mcdn` — the command-line face of the Meta-CDN measurement suite.
+//!
+//! ```text
+//! mcdn resolve <city> [--at "YYYY-MM-DD HH:MM"]   resolve appldnld.apple.com as a client there
+//! mcdn crawl                                       crawl the Figure-2 mapping graph
+//! mcdn scan                                        scan 17.253/16, rebuild Figure 3 + Table 1
+//! mcdn campaign global|isp [--paper] [--jsonl F]   run a DNS campaign, print summaries
+//! mcdn traffic [--paper]                           run border telemetry, print Figures 7/8
+//! mcdn zones                                       dump the mapping zones as zone files
+//! ```
+//!
+//! Everything is deterministic; re-running a command reproduces its output.
+
+use mcdn_analysis::{fig2, fig3, fig4, fig5, fig7, fig8, table1};
+use mcdn_scenario::{
+    loads, params, run_global_dns, run_isp_dns, run_isp_traffic, ScenarioConfig, World,
+};
+use mcdn_geo::{Locode, Registry, SimTime};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mcdn <resolve CITY [--at 'YYYY-MM-DD HH:MM'] | crawl | scan | \
+campaign global|isp [--paper] [--jsonl FILE] | traffic [--paper] | zones>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_at(args: &[String]) -> SimTime {
+    let default = SimTime::from_ymd_hms(2017, 9, 19, 18, 0, 0);
+    let Some(i) = args.iter().position(|a| a == "--at") else { return default };
+    let Some(spec) = args.get(i + 1) else { usage() };
+    let parts: Vec<&str> = spec.split([' ', '-', ':']).collect();
+    let num = |i: usize| parts.get(i).and_then(|p| p.parse::<u32>().ok());
+    match (num(0), num(1), num(2), num(3), num(4)) {
+        (Some(y), Some(m), Some(d), Some(h), Some(min)) => {
+            SimTime::from_ymd_hms(y as i64, m, d, h, min, 0)
+        }
+        (Some(y), Some(m), Some(d), None, None) => SimTime::from_ymd(y as i64, m, d),
+        _ => {
+            eprintln!("cannot parse --at {spec:?} (want 'YYYY-MM-DD HH:MM')");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cfg_from(args: &[String]) -> ScenarioConfig {
+    if args.iter().any(|a| a == "--paper") {
+        ScenarioConfig::paper()
+    } else {
+        ScenarioConfig::fast()
+    }
+}
+
+fn cmd_resolve(args: &[String]) {
+    let Some(city_arg) = args.first().filter(|a| !a.starts_with("--")) else { usage() };
+    let city = Registry::cities()
+        .iter()
+        .find(|c| {
+            c.name.eq_ignore_ascii_case(city_arg)
+                || Locode::parse(city_arg).is_some_and(|l| Registry::canonicalize(l) == c.locode)
+        })
+        .unwrap_or_else(|| {
+            eprintln!("unknown city {city_arg:?}; use a registry city name or UN/LOCODE");
+            std::process::exit(2);
+        });
+    let now = parse_at(args);
+    let world = World::build(&ScenarioConfig::fast());
+    loads::update_loads(&world, now);
+    let ctx = mcdn_dnssim::QueryContext {
+        client_ip: "100.64.0.99".parse().expect("static ip"),
+        locode: city.locode,
+        coord: city.coord,
+        continent: city.continent,
+        now,
+    };
+    // Serve over the wire and show dig-style output.
+    let query = mcdn_dnswire::Message::query(
+        0x5EED,
+        metacdn::names::entry(),
+        mcdn_dnswire::RecordType::A,
+    );
+    let resp_bytes = mcdn_dnssim::serve(&world.ns, &query.encode().expect("encodes"), &ctx)
+        .expect("namespace answers");
+    let resp = mcdn_dnswire::Message::decode(&resp_bytes).expect("decodes");
+    println!(
+        "; resolving appldnld.apple.com as a client in {} at {now}\n",
+        city.name
+    );
+    print!("{}", mcdn_dnswire::dig_format(&resp));
+}
+
+fn cmd_crawl() {
+    let world = World::build(&ScenarioConfig::fast());
+    let graph = fig2::fig2(&world);
+    println!("{graph}");
+    print!("{}", fig2::to_dot(&graph));
+}
+
+fn cmd_scan() {
+    let world = World::build(&ScenarioConfig::fast());
+    println!("{}", fig3::fig3(&world));
+    println!("{}", table1::table1(&world));
+    let (parsed, total) = table1::scheme_coverage(&world);
+    println!("naming-scheme coverage: {parsed}/{total}");
+}
+
+fn cmd_campaign(args: &[String]) {
+    let which = args.first().map(String::as_str).unwrap_or("global");
+    let cfg = cfg_from(args);
+    let world = World::build(&cfg);
+    match which {
+        "global" => {
+            let result = run_global_dns(&world, &cfg);
+            println!("{} resolutions", result.resolutions);
+            println!("{}", fig4::fig4_summary(&result, params::release()));
+            println!("{}", fig4::fig4_eu_peak_breakdown(&result, params::release()));
+        }
+        "isp" => {
+            let result = run_isp_dns(&world, &cfg);
+            println!("{} resolutions", result.resolutions);
+            let (rise, apple) = fig5::fig5_akamai_rise(&result);
+            println!("Akamai unique IPs Sep 18 → 20: {rise:+.0}%  (Apple stability {apple:.2})");
+        }
+        _ => usage(),
+    }
+}
+
+fn cmd_traffic(args: &[String]) {
+    let cfg = cfg_from(args);
+    let world = World::build(&cfg);
+    eprintln!("running DNS campaigns for the cross-correlation IP set…");
+    let global = run_global_dns(&world, &cfg);
+    let isp = run_isp_dns(&world, &cfg);
+    let mut ip_classes = isp.ip_classes;
+    ip_classes.extend(global.ip_classes);
+    eprintln!("running border telemetry…");
+    let traffic = run_isp_traffic(&world, &cfg);
+    println!("{}", fig7::fig7_summary(&traffic, &ip_classes, params::release()));
+    println!("{}", fig8::fig8_series(&traffic, &ip_classes, &world));
+    println!("{}", fig8::fig8_d_link_saturation(&traffic, &world, cfg.traffic_tick));
+}
+
+fn cmd_zones() {
+    let world = World::build(&ScenarioConfig::fast());
+    for origin in ["apple.com", "akadns.net", "applimg.com", "edgesuite.net", "akamai.net", "llnwi.net", "llnwd.net"] {
+        let name = mcdn_dnswire::Name::parse(origin).expect("static");
+        if let Some(zone) = world.ns.authority_for(&name) {
+            if zone.origin() == &name {
+                println!("{}", zone.to_zonefile());
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("resolve") => cmd_resolve(&args[1..]),
+        Some("crawl") => cmd_crawl(),
+        Some("scan") => cmd_scan(),
+        Some("campaign") => cmd_campaign(&args[1..]),
+        Some("traffic") => cmd_traffic(&args[1..]),
+        Some("zones") => cmd_zones(),
+        _ => usage(),
+    }
+}

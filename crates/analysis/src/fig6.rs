@@ -1,0 +1,83 @@
+//! Figure 6: the offload/overflow taxonomy, as a worked classification.
+//!
+//! Figure 6 is an illustration; its reproducible content is the §5.1
+//! classification rule, which this module demonstrates on one flow per
+//! quadrant drawn from the live topology.
+
+use crate::table::Table;
+use mcdn_isp::classify_flow;
+use mcdn_netsim::Router;
+use mcdn_scenario::{params, World};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// Classifies a representative server address per quadrant and tabulates
+/// source AS, handover AS, and the offload/overflow verdicts.
+pub fn fig6(world: &World) -> Table {
+    let thirds: HashSet<_> = [
+        params::AKAMAI_AS,
+        params::LIMELIGHT_AS,
+        params::LL_CACHE_A_AS,
+        params::LL_CACHE_B_AS,
+        params::LL_CACHE_C_AS,
+        params::LL_SURGE_D_AS,
+        params::AKAMAI_OFFNET_AS,
+    ]
+    .into_iter()
+    .collect();
+    let mut router = Router::new();
+    let mut t = Table::new(
+        "Figure 6 — offload and overflow classification (worked examples)",
+        &["server", "source AS", "handover AS", "offload", "overflow"],
+    );
+    let samples: [(&str, Ipv4Addr); 4] = [
+        ("Apple cache, direct peering", "17.253.1.1".parse().expect("ip")),
+        ("Akamai cache, direct peering", "23.0.0.1".parse().expect("ip")),
+        ("Apple traffic via transit", "17.200.1.1".parse().expect("ip")),
+        ("Limelight cache behind AS D", "69.28.64.1".parse().expect("ip")),
+    ];
+    for (label, ip) in samples {
+        let Some(src) = world.topo.origin_of(ip) else { continue };
+        let Some(path) = router.path(&world.topo, src, params::EYEBALL_AS) else { continue };
+        let handover = Router::handover(&path).unwrap_or(src);
+        // The "Apple via transit" example models the dedicated China pool
+        // whose route to this ISP would cross a transit; in this topology
+        // Apple peers directly, so force the transit case explicitly for
+        // the illustration.
+        let handover = if label.contains("via transit") { params::TRANSIT_A } else { handover };
+        let class = classify_flow(src, handover, &thirds);
+        t.push(vec![
+            label.to_string(),
+            world.topo.as_info(src).map(|a| a.name.clone()).unwrap_or_default(),
+            world.topo.as_info(handover).map(|a| a.name.clone()).unwrap_or_default(),
+            class.offload.to_string(),
+            class.overflow.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdn_scenario::ScenarioConfig;
+
+    #[test]
+    fn quadrants_are_covered() {
+        let world = World::build(&ScenarioConfig::fast());
+        let t = fig6(&world);
+        assert_eq!(t.rows.len(), 4);
+        // Direct Apple: neither.
+        assert_eq!(t.rows[0][3], "false");
+        assert_eq!(t.rows[0][4], "false");
+        // Direct Akamai: offload only.
+        assert_eq!(t.rows[1][3], "true");
+        assert_eq!(t.rows[1][4], "false");
+        // Apple via transit: overflow only.
+        assert_eq!(t.rows[2][3], "false");
+        assert_eq!(t.rows[2][4], "true");
+        // LL behind AS D: both.
+        assert_eq!(t.rows[3][3], "true");
+        assert_eq!(t.rows[3][4], "true");
+    }
+}

@@ -1,0 +1,177 @@
+//! Measurement probes: located clients with their own caching resolvers.
+
+use mcdn_dnssim::{Namespace, QueryContext, RecursiveResolver, ResolutionError, ResolutionTrace};
+use mcdn_dnswire::{Name, RecordType};
+use mcdn_geo::{City, SimTime};
+use mcdn_netsim::AsId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+
+/// Where one probe lives: its city, host AS, and client address.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeSpec {
+    /// Host city (fixes coordinates and continent).
+    pub city: &'static City,
+    /// The access network hosting the probe.
+    pub as_id: AsId,
+    /// The probe's client address (inside the host AS's prefix).
+    pub ip: Ipv4Addr,
+}
+
+/// A measurement probe. Each probe owns a resolver cache, so the TTL
+/// dynamics of the mapping chain shape what it re-resolves each round —
+/// exactly like a RIPE Atlas probe using its local resolver.
+#[derive(Debug)]
+pub struct Probe {
+    /// Fleet-unique id.
+    pub id: u32,
+    /// Placement.
+    pub spec: ProbeSpec,
+    resolver: RecursiveResolver,
+}
+
+impl Probe {
+    /// Creates a probe.
+    pub fn new(id: u32, spec: ProbeSpec) -> Probe {
+        Probe { id, spec, resolver: RecursiveResolver::new() }
+    }
+
+    /// The query context this probe presents at `now`.
+    pub fn context(&self, now: SimTime) -> QueryContext {
+        QueryContext {
+            client_ip: self.spec.ip,
+            locode: self.spec.city.locode,
+            coord: self.spec.city.coord,
+            continent: self.spec.city.continent,
+            now,
+        }
+    }
+
+    /// Runs one DNS measurement, returning the trace (and any error — a
+    /// probe logs failures rather than aborting a campaign).
+    pub fn measure(
+        &mut self,
+        ns: &Namespace,
+        qname: &Name,
+        qtype: RecordType,
+        now: SimTime,
+    ) -> (ResolutionTrace, Result<(), ResolutionError>) {
+        self.resolver.resolve(ns, qname, qtype, &self.context(now))
+    }
+
+    /// Resolver cache statistics `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.resolver.cache_stats()
+    }
+}
+
+/// Builds probes from specs, ids assigned in order.
+pub fn build_fleet(specs: Vec<ProbeSpec>) -> Vec<Probe> {
+    specs.into_iter().enumerate().map(|(i, s)| Probe::new(i as u32, s)).collect()
+}
+
+/// Spreads `n` probe specs across weighted cities, deterministically under
+/// `seed`. `place` maps a city to its host AS and a fresh client address.
+pub fn spread_specs(
+    n: usize,
+    cities: &[(&'static City, f64)],
+    seed: u64,
+    mut place: impl FnMut(&'static City, usize) -> (AsId, Ipv4Addr),
+) -> Vec<ProbeSpec> {
+    assert!(!cities.is_empty(), "need at least one city");
+    let total: f64 = cities.iter().map(|(_, w)| w).sum();
+    assert!(total > 0.0, "weights must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let mut pick = rng.gen_range(0.0..total);
+            let mut chosen = cities[0].0;
+            for (city, w) in cities {
+                if pick < *w {
+                    chosen = city;
+                    break;
+                }
+                pick -= w;
+            }
+            let (as_id, ip) = place(chosen, i);
+            ProbeSpec { city: chosen, as_id, ip }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdn_dnssim::Zone;
+    use mcdn_geo::{Continent, Locode, Registry};
+
+    fn city(code: &str) -> &'static City {
+        Registry::by_locode(Locode::parse(code).unwrap()).unwrap()
+    }
+
+    fn tiny_ns() -> Namespace {
+        let mut ns = Namespace::new();
+        let mut z = Zone::new(Name::parse("apple.com").unwrap());
+        z.add_a("appldnld.apple.com", Ipv4Addr::new(17, 253, 1, 1), 20);
+        ns.add_zone(z);
+        ns
+    }
+
+    #[test]
+    fn probe_context_carries_location() {
+        let p = Probe::new(
+            0,
+            ProbeSpec { city: city("deber"), as_id: AsId(1), ip: Ipv4Addr::new(10, 0, 0, 1) },
+        );
+        let ctx = p.context(SimTime::from_ymd(2017, 9, 12));
+        assert_eq!(ctx.continent, Continent::Europe);
+        assert_eq!(ctx.locode.as_str(), "deber");
+    }
+
+    #[test]
+    fn probe_measures_and_caches() {
+        let ns = tiny_ns();
+        let mut p = Probe::new(
+            0,
+            ProbeSpec { city: city("deber"), as_id: AsId(1), ip: Ipv4Addr::new(10, 0, 0, 1) },
+        );
+        let t0 = SimTime::from_ymd(2017, 9, 12);
+        let name = Name::parse("appldnld.apple.com").unwrap();
+        let (trace, res) = p.measure(&ns, &name, RecordType::A, t0);
+        res.unwrap();
+        assert_eq!(trace.addresses(), vec![Ipv4Addr::new(17, 253, 1, 1)]);
+        // Re-measure within TTL: cache hit.
+        let (_, res) = p.measure(&ns, &name, RecordType::A, t0 + mcdn_geo::Duration::secs(5));
+        res.unwrap();
+        assert_eq!(p.cache_stats().0, 1);
+    }
+
+    #[test]
+    fn spread_is_deterministic_and_weighted() {
+        let cities = [(city("deber"), 3.0), (city("usnyc"), 1.0)];
+        let place = |_: &'static City, i: usize| {
+            (AsId(1), Ipv4Addr::from(0x0A00_0000 + i as u32))
+        };
+        let a = spread_specs(400, &cities, 42, place);
+        let b = spread_specs(400, &cities, 42, place);
+        assert_eq!(a.len(), 400);
+        let berlin_a = a.iter().filter(|s| s.city.name == "Berlin").count();
+        let berlin_b = b.iter().filter(|s| s.city.name == "Berlin").count();
+        assert_eq!(berlin_a, berlin_b, "same seed, same spread");
+        // 3:1 weighting → roughly 300 in Berlin.
+        assert!((250..=350).contains(&berlin_a), "got {berlin_a}");
+    }
+
+    #[test]
+    fn fleet_ids_are_sequential() {
+        let cities = [(city("deber"), 1.0)];
+        let specs = spread_specs(5, &cities, 7, |_, i| {
+            (AsId(1), Ipv4Addr::from(0x0A00_0000 + i as u32))
+        });
+        let fleet = build_fleet(specs);
+        for (i, p) in fleet.iter().enumerate() {
+            assert_eq!(p.id, i as u32);
+        }
+    }
+}

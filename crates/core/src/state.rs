@@ -1,0 +1,343 @@
+//! Shared, mutable Meta-CDN controller state.
+//!
+//! One [`MetaCdnState`] is shared (via `Arc`) between the DNS mapping
+//! policies installed by [`crate::zones`] and the simulation driver: the
+//! driver feeds in per-tick load figures (Apple-CDN utilization, third-party
+//! pool loads), and the policies read them to make per-query decisions.
+//!
+//! Two mechanisms live here:
+//!
+//! * **Reactive overflow** — the schedule gives Apple a commercial selection
+//!   weight, but when the demand routed to Apple's CDN exceeds its serving
+//!   capacity (utilization > 1), the surplus selection probability spills to
+//!   the third-party CDNs in proportion to their weights. This reproduces
+//!   the paper's observation that Apple "uses its own CDN first before
+//!   offloading" and that its traffic curve flat-tops while third parties
+//!   absorb the spike.
+//! * **Akamai map activation** — the paper saw `a1015.gi3.akamai.net`
+//!   appear for EU requests six hours after the release. The state records
+//!   when Akamai's load first crosses [`AKAMAI_OVERLOAD_THRESHOLD`] and
+//!   reports the event map active [`A1015_LAG`] later, until load recedes.
+
+use crate::kinds::CdnKind;
+use crate::policy::{CdnShare, Schedule};
+use mcdn_cdn::site::fnv64;
+use mcdn_geo::{Duration, Region, SimTime};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::RwLock;
+
+/// Akamai load (0..1) that triggers spinning up the additional map.
+pub const AKAMAI_OVERLOAD_THRESHOLD: f64 = 0.5;
+/// Lag between Akamai first overloading and the `a1015` map serving —
+/// "it takes six hours for Akamai to increase its number of distributed IP
+/// addresses to its load-dependent peak" (§4).
+pub const A1015_LAG: Duration = Duration::hours(6);
+/// Load below which the event map is retired again.
+const A1015_RETIRE_BELOW: f64 = 0.2;
+/// Selection decisions re-randomize with the selector TTL.
+const SELECT_BUCKET_SECS: u64 = 15;
+
+#[derive(Debug, Default)]
+struct Inner {
+    apple_util: HashMap<Region, f64>,
+    cdn_load: HashMap<(CdnKind, Region), f64>,
+    akamai_overload_since: HashMap<Region, SimTime>,
+}
+
+/// Shared controller state (thread-safe; policies hold `Arc<MetaCdnState>`).
+#[derive(Debug)]
+pub struct MetaCdnState {
+    schedule: Schedule,
+    inner: RwLock<Inner>,
+}
+
+/// A point-in-time copy of the controller's view, for logging and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateSnapshot {
+    /// Apple candidate utilization per region (demand ÷ capacity; may
+    /// exceed 1 during the flash crowd).
+    pub apple_util: Vec<(Region, f64)>,
+    /// Third-party pool loads per (CDN, region).
+    pub cdn_load: Vec<(CdnKind, Region, f64)>,
+    /// Regions where the Akamai event map is currently active.
+    pub a1015_active: Vec<Region>,
+}
+
+impl MetaCdnState {
+    /// Creates controller state around a weight schedule.
+    pub fn new(schedule: Schedule) -> MetaCdnState {
+        MetaCdnState { schedule, inner: RwLock::new(Inner::default()) }
+    }
+
+    /// The schedule's (pre-overflow) share for `region` at `now`.
+    pub fn scheduled_share(&self, region: Region, now: SimTime) -> CdnShare {
+        self.schedule.share_at(region, now)
+    }
+
+    /// Reports Apple's candidate utilization for `region` this tick:
+    /// `demand directed at Apple ÷ Apple capacity`, uncapped.
+    pub fn set_apple_utilization(&self, region: Region, util: f64) {
+        self.inner.write().expect("state lock").apple_util.insert(region, util.max(0.0));
+    }
+
+    /// Reports a third-party CDN's pool load (0..1) for `region` at `now`;
+    /// drives pool exposure and, for Akamai, the event-map lifecycle.
+    pub fn set_cdn_load(&self, kind: CdnKind, region: Region, load: f64, now: SimTime) {
+        let load = load.clamp(0.0, 1.0);
+        let mut inner = self.inner.write().expect("state lock");
+        inner.cdn_load.insert((kind, region), load);
+        if kind == CdnKind::Akamai {
+            if load >= AKAMAI_OVERLOAD_THRESHOLD {
+                inner.akamai_overload_since.entry(region).or_insert(now);
+            } else if load < A1015_RETIRE_BELOW {
+                inner.akamai_overload_since.remove(&region);
+            }
+        }
+    }
+
+    /// The last reported pool load for `(kind, region)`, default 0.
+    pub fn cdn_load(&self, kind: CdnKind, region: Region) -> f64 {
+        *self.inner.read().expect("state lock").cdn_load.get(&(kind, region)).unwrap_or(&0.0)
+    }
+
+    /// Apple's last reported utilization for `region`, default 0.
+    pub fn apple_utilization(&self, region: Region) -> f64 {
+        *self.inner.read().expect("state lock").apple_util.get(&region).unwrap_or(&0.0)
+    }
+
+    /// Whether the `a1015.gi3.akamai.net` event map serves `region` at `now`.
+    pub fn a1015_active(&self, region: Region, now: SimTime) -> bool {
+        self.inner
+            .read()
+            .expect("state lock")
+            .akamai_overload_since
+            .get(&region)
+            .is_some_and(|since| now >= *since + A1015_LAG)
+    }
+
+    /// The selection probabilities actually in force: the scheduled share
+    /// with Apple's overflow spilled onto the available third parties.
+    pub fn effective_share(&self, region: Region, now: SimTime) -> Vec<(CdnKind, f64)> {
+        let base = self.schedule.share_at(region, now);
+        let mut probs = base.normalized_in(region);
+        if probs.is_empty() {
+            return probs;
+        }
+        let util = self.apple_utilization(region);
+        if util <= 1.0 {
+            return probs;
+        }
+        // Apple can serve only 1/util of what the schedule directs at it.
+        let apple_p = probs
+            .iter()
+            .find(|(k, _)| *k == CdnKind::Apple)
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0);
+        let kept = apple_p / util;
+        let spill = apple_p - kept;
+        let third_total: f64 =
+            probs.iter().filter(|(k, _)| *k != CdnKind::Apple).map(|(_, p)| p).sum();
+        for (k, p) in probs.iter_mut() {
+            if *k == CdnKind::Apple {
+                *p = kept;
+            } else if third_total > 0.0 {
+                *p += spill * (*p / third_total);
+            }
+        }
+        if third_total == 0.0 && spill > 0.0 {
+            // No third party scheduled: engage every available one equally
+            // (the controller's last-resort overflow).
+            let thirds: Vec<CdnKind> = CdnKind::THIRD_PARTY
+                .into_iter()
+                .filter(|k| k.available_in(region) && *k != CdnKind::Level3)
+                .collect();
+            for k in &thirds {
+                probs.push((*k, spill / thirds.len() as f64));
+            }
+        }
+        probs
+    }
+
+    /// Step ② decision: which CDN serves `client_ip` in `region` at `now`.
+    /// Deterministic per (client, 15-second bucket); `None` only if the
+    /// schedule assigns no weight to any available CDN.
+    pub fn select_cdn(&self, region: Region, client_ip: Ipv4Addr, now: SimTime) -> Option<CdnKind> {
+        pick_weighted(&self.effective_share(region, now), client_ip, now, 0)
+    }
+
+    /// Step ③ decision: which *third-party* CDN serves, given the effective
+    /// share restricted to non-Apple CDNs.
+    pub fn select_third_party(
+        &self,
+        region: Region,
+        client_ip: Ipv4Addr,
+        now: SimTime,
+    ) -> Option<CdnKind> {
+        let probs: Vec<(CdnKind, f64)> = self
+            .effective_share(region, now)
+            .into_iter()
+            .filter(|(k, _)| *k != CdnKind::Apple)
+            .collect();
+        pick_weighted(&probs, client_ip, now, 0x33)
+    }
+
+    /// A copy of the mutable state for inspection.
+    pub fn snapshot(&self, now: SimTime) -> StateSnapshot {
+        let inner = self.inner.read().expect("state lock");
+        let mut apple_util: Vec<_> = inner.apple_util.iter().map(|(r, u)| (*r, *u)).collect();
+        apple_util.sort_by_key(|(r, _)| *r);
+        let mut cdn_load: Vec<_> =
+            inner.cdn_load.iter().map(|((k, r), l)| (*k, *r, *l)).collect();
+        cdn_load.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let a1015_active = Region::ALL
+            .into_iter()
+            .filter(|r| {
+                inner.akamai_overload_since.get(r).is_some_and(|s| now >= *s + A1015_LAG)
+            })
+            .collect();
+        StateSnapshot { apple_util, cdn_load, a1015_active }
+    }
+}
+
+/// Deterministic weighted choice among CDNs for one client at one instant.
+///
+/// The decision re-randomizes every 15 seconds (the selector TTL) — a client
+/// that re-resolves after expiry may land on a different CDN, which is the
+/// paper's "quick reroute" property. `salt` decorrelates independent
+/// decision points (step ② vs step ③).
+pub fn pick_weighted(
+    probs: &[(CdnKind, f64)],
+    client_ip: Ipv4Addr,
+    now: SimTime,
+    salt: u8,
+) -> Option<CdnKind> {
+    let total: f64 = probs.iter().map(|(_, p)| p).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut key = client_ip.octets().to_vec();
+    key.extend_from_slice(&(now.as_secs() / SELECT_BUCKET_SECS).to_be_bytes());
+    key.push(salt);
+    let u = (fnv64(&key) % 1_000_000) as f64 / 1_000_000.0;
+    let mut acc = 0.0;
+    for (k, p) in probs {
+        acc += p / total;
+        if u < acc {
+            return Some(*k);
+        }
+    }
+    probs.last().map(|(k, _)| *k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_with(apple: f64, akamai: f64, limelight: f64) -> MetaCdnState {
+        MetaCdnState::new(Schedule::constant(CdnShare {
+            apple,
+            akamai,
+            limelight,
+            level3: 0.0,
+        }))
+    }
+
+    fn t0() -> SimTime {
+        SimTime::from_ymd_hms(2017, 9, 19, 17, 0, 0)
+    }
+
+    #[test]
+    fn no_overflow_below_capacity() {
+        let s = state_with(0.5, 0.25, 0.25);
+        s.set_apple_utilization(Region::Eu, 0.8);
+        let share = s.effective_share(Region::Eu, t0());
+        let apple = share.iter().find(|(k, _)| *k == CdnKind::Apple).unwrap().1;
+        assert!((apple - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_spills_proportionally() {
+        let s = state_with(0.5, 0.25, 0.25);
+        // Apple-directed demand is twice Apple's capacity.
+        s.set_apple_utilization(Region::Eu, 2.0);
+        let share = s.effective_share(Region::Eu, t0());
+        let get = |k| share.iter().find(|(x, _)| *x == k).unwrap().1;
+        assert!((get(CdnKind::Apple) - 0.25).abs() < 1e-12, "kept = 0.5/2");
+        // Spill of 0.25 splits evenly between equal-weight third parties.
+        assert!((get(CdnKind::Akamai) - 0.375).abs() < 1e-12);
+        assert!((get(CdnKind::Limelight) - 0.375).abs() < 1e-12);
+        let total: f64 = share.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_with_no_scheduled_third_party_engages_all() {
+        let s = state_with(1.0, 0.0, 0.0);
+        s.set_apple_utilization(Region::Eu, 4.0);
+        let share = s.effective_share(Region::Eu, t0());
+        let get = |k| share.iter().find(|(x, _)| *x == k).map(|(_, p)| *p).unwrap_or(0.0);
+        assert!((get(CdnKind::Apple) - 0.25).abs() < 1e-12);
+        assert!(get(CdnKind::Akamai) > 0.0 && get(CdnKind::Limelight) > 0.0);
+        assert_eq!(get(CdnKind::Level3), 0.0, "Level3 stays removed");
+    }
+
+    #[test]
+    fn selection_follows_weights_statistically() {
+        let s = state_with(0.6, 0.2, 0.2);
+        let mut counts: HashMap<CdnKind, u32> = HashMap::new();
+        for i in 0..4000u32 {
+            let ip = Ipv4Addr::from(0x0A00_0000 + i * 97);
+            let k = s.select_cdn(Region::Eu, ip, t0()).unwrap();
+            *counts.entry(k).or_default() += 1;
+        }
+        let apple_frac = counts[&CdnKind::Apple] as f64 / 4000.0;
+        assert!((apple_frac - 0.6).abs() < 0.05, "got {apple_frac}");
+    }
+
+    #[test]
+    fn selection_rotates_with_selector_ttl() {
+        let s = state_with(0.5, 0.25, 0.25);
+        let ip = Ipv4Addr::new(10, 1, 2, 3);
+        let picks: std::collections::HashSet<_> = (0..40)
+            .map(|i| s.select_cdn(Region::Eu, ip, t0() + Duration::secs(15 * i)).unwrap())
+            .collect();
+        assert!(picks.len() > 1, "same client re-rolls across TTL buckets");
+    }
+
+    #[test]
+    fn a1015_lifecycle() {
+        let s = state_with(0.4, 0.3, 0.3);
+        let release = t0();
+        assert!(!s.a1015_active(Region::Eu, release));
+        // Akamai overloads at release…
+        s.set_cdn_load(CdnKind::Akamai, Region::Eu, 0.9, release);
+        assert!(!s.a1015_active(Region::Eu, release + Duration::hours(5)));
+        // …the map is active six hours later…
+        assert!(s.a1015_active(Region::Eu, release + Duration::hours(6)));
+        // …stays active while hot, retires when load recedes.
+        s.set_cdn_load(CdnKind::Akamai, Region::Eu, 0.1, release + Duration::days(2));
+        assert!(!s.a1015_active(Region::Eu, release + Duration::days(2)));
+    }
+
+    #[test]
+    fn third_party_selection_excludes_apple() {
+        let s = state_with(0.9, 0.05, 0.05);
+        for i in 0..100u32 {
+            let ip = Ipv4Addr::from(0x0A00_0100 + i);
+            let k = s.select_third_party(Region::Eu, ip, t0()).unwrap();
+            assert_ne!(k, CdnKind::Apple);
+        }
+    }
+
+    #[test]
+    fn snapshot_reports_state() {
+        let s = state_with(0.5, 0.25, 0.25);
+        s.set_apple_utilization(Region::Eu, 1.5);
+        s.set_cdn_load(CdnKind::Akamai, Region::Eu, 0.9, t0());
+        let snap = s.snapshot(t0() + Duration::hours(7));
+        assert_eq!(snap.apple_util, vec![(Region::Eu, 1.5)]);
+        assert_eq!(snap.cdn_load, vec![(CdnKind::Akamai, Region::Eu, 0.9)]);
+        assert_eq!(snap.a1015_active, vec![Region::Eu]);
+    }
+}

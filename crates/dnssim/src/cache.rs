@@ -1,0 +1,172 @@
+//! A TTL-honouring resolver cache.
+//!
+//! TTLs are the control knob of the Meta-CDN: the 15-second TTL on the
+//! selector CNAME (`appldnld.g.applimg.com`) is what lets Apple reroute
+//! clients between CDNs within seconds, while the 21600-second TTL on the
+//! entry CNAME keeps the front of the chain pinned. The cache therefore
+//! stores *absolute expiry instants* in simulated time and replays answers
+//! until they lapse, exactly like a stub/recursive resolver would.
+
+use mcdn_dnswire::{Name, RecordType, ResourceRecord};
+use mcdn_geo::SimTime;
+use std::collections::HashMap;
+
+/// How long a negative (NODATA/NXDOMAIN) result is cached, seconds.
+/// RFC 2308 derives this from the SOA; our zones use a flat value.
+pub const NEGATIVE_TTL: u32 = 60;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    records: Vec<ResourceRecord>, // empty = negative entry
+    expires: SimTime,
+}
+
+/// A per-resolver DNS cache.
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: HashMap<(Name, u16), Entry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// An empty cache.
+    pub fn new() -> Cache {
+        Cache::default()
+    }
+
+    /// Looks up `name`/`qtype` at time `now`. Returns the cached records
+    /// (empty vector = cached negative) or `None` on miss/expiry.
+    pub fn get(&mut self, name: &Name, qtype: RecordType, now: SimTime) -> Option<Vec<ResourceRecord>> {
+        let key = (name.clone(), qtype.to_u16());
+        match self.entries.get(&key) {
+            Some(e) if now < e.expires => {
+                self.hits += 1;
+                // Surface the remaining TTL, as a real cache does.
+                let remaining = e.expires.since(now).as_secs() as u32;
+                Some(
+                    e.records
+                        .iter()
+                        .map(|rr| {
+                            let mut rr = rr.clone();
+                            rr.ttl = rr.ttl.min(remaining);
+                            rr
+                        })
+                        .collect(),
+                )
+            }
+            _ => {
+                self.misses += 1;
+                self.entries.remove(&key);
+                None
+            }
+        }
+    }
+
+    /// Stores an answer. The entry TTL is the minimum record TTL (the whole
+    /// RRset expires together); empty answers are cached for [`NEGATIVE_TTL`].
+    pub fn put(&mut self, name: Name, qtype: RecordType, records: Vec<ResourceRecord>, now: SimTime) {
+        let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(NEGATIVE_TTL);
+        let expires = now + mcdn_geo::Duration::secs(ttl as u64);
+        self.entries.insert((name, qtype.to_u16()), Entry { records, expires });
+    }
+
+    /// Number of live plus expired entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Drops every entry (used when re-pointing a probe at a fresh resolver).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdn_dnswire::RData;
+    use mcdn_geo::Duration;
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn rr(name: &str, ttl: u32) -> ResourceRecord {
+        ResourceRecord::new(n(name), ttl, RData::A(Ipv4Addr::new(17, 1, 1, 1)))
+    }
+
+    #[test]
+    fn hit_until_expiry_then_miss() {
+        let mut c = Cache::new();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        c.put(n("a.gslb.applimg.com"), RecordType::A, vec![rr("a.gslb.applimg.com", 15)], t0);
+        assert!(c.get(&n("a.gslb.applimg.com"), RecordType::A, t0 + Duration::secs(14)).is_some());
+        assert!(c.get(&n("a.gslb.applimg.com"), RecordType::A, t0 + Duration::secs(15)).is_none());
+        let (hits, misses) = c.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn remaining_ttl_decreases() {
+        let mut c = Cache::new();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        c.put(n("x.apple.com"), RecordType::A, vec![rr("x.apple.com", 100)], t0);
+        let got = c.get(&n("x.apple.com"), RecordType::A, t0 + Duration::secs(40)).unwrap();
+        assert_eq!(got[0].ttl, 60);
+    }
+
+    #[test]
+    fn rrset_expires_on_minimum_ttl() {
+        let mut c = Cache::new();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        c.put(
+            n("multi.apple.com"),
+            RecordType::A,
+            vec![rr("multi.apple.com", 300), rr("multi.apple.com", 20)],
+            t0,
+        );
+        assert!(c.get(&n("multi.apple.com"), RecordType::A, t0 + Duration::secs(21)).is_none());
+    }
+
+    #[test]
+    fn negative_entries_cached_briefly() {
+        let mut c = Cache::new();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        c.put(n("missing.apple.com"), RecordType::A, Vec::new(), t0);
+        let hit = c.get(&n("missing.apple.com"), RecordType::A, t0 + Duration::secs(30));
+        assert_eq!(hit, Some(Vec::new()));
+        assert!(c
+            .get(&n("missing.apple.com"), RecordType::A, t0 + Duration::secs(NEGATIVE_TTL as u64))
+            .is_none());
+    }
+
+    #[test]
+    fn types_are_independent() {
+        let mut c = Cache::new();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        c.put(n("x.apple.com"), RecordType::A, vec![rr("x.apple.com", 100)], t0);
+        assert!(c.get(&n("x.apple.com"), RecordType::Aaaa, t0).is_none());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = Cache::new();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        c.put(n("x.apple.com"), RecordType::A, vec![rr("x.apple.com", 100)], t0);
+        assert!(!c.is_empty());
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

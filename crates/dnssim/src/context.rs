@@ -1,0 +1,48 @@
+//! Per-query context passed to mapping policies.
+
+use mcdn_geo::{Continent, Coord, Locode, Region, SimTime};
+use std::net::Ipv4Addr;
+
+/// Everything a mapping policy may condition on for one DNS query.
+///
+/// Mirrors the signals a production GSLB derives from the querying resolver:
+/// a topological identity (`client_ip`), a geographic position, and the time
+/// of day. Simulated clients state these directly (see the crate docs for
+/// why this is behaviour-preserving).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryContext {
+    /// Source address the query (appears to) come from.
+    pub client_ip: Ipv4Addr,
+    /// City of the client.
+    pub locode: Locode,
+    /// Coordinates of the client.
+    pub coord: Coord,
+    /// Continent of the client (Figure 4 grouping).
+    pub continent: Continent,
+    /// Simulated query time.
+    pub now: SimTime,
+}
+
+impl QueryContext {
+    /// The Meta-CDN routing region for this client.
+    pub fn region(&self) -> Region {
+        self.continent.region()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_derived_from_continent() {
+        let ctx = QueryContext {
+            client_ip: Ipv4Addr::new(198, 51, 100, 1),
+            locode: Locode::parse("deber").unwrap(),
+            coord: Coord::new(52.5, 13.4),
+            continent: Continent::Europe,
+            now: SimTime::from_ymd(2017, 9, 19),
+        };
+        assert_eq!(ctx.region(), Region::Eu);
+    }
+}

@@ -1,0 +1,46 @@
+//! Simulated DNS: authoritative zones, dynamic mapping policies, and a
+//! recursive resolver with a TTL-honouring cache.
+//!
+//! The Apple Meta-CDN's request mapping (§3.2 of the paper) is "location-
+//! based dynamic DNS resolution": a chain of CNAMEs across several operators'
+//! zones (`apple.com` → `akadns.net` → `applimg.com` → CDN-specific names),
+//! where some hops are static records and others are computed per request by
+//! a mapping function (geo split, CDN selector, GSLB). This crate models
+//! exactly that:
+//!
+//! * [`Zone`] holds static records *and* [`MappingPolicy`] hooks at
+//!   individual names — a policy sees the [`QueryContext`] (client location,
+//!   simulated time) and returns the records to serve, which is how GSLB and
+//!   the Meta-CDN selector are implemented by `metacdn`.
+//! * [`Namespace`] is the set of all authoritative zones; it answers one
+//!   question at a time like the authoritative side of the real DNS.
+//! * [`RecursiveResolver`] chases CNAME chains across zones with a
+//!   per-resolver cache honouring TTLs — probes each own a resolver, so TTL
+//!   effects (the 15 s selector TTL vs the 21600 s entry TTL) shape what a
+//!   probe re-resolves every measurement round, exactly as on RIPE Atlas.
+//! * Every resolution yields a [`ResolutionTrace`] recording each CNAME edge
+//!   with its TTL — the raw material for regenerating Figure 2.
+//!
+//! A deliberate simplification: the real mapping infers client location from
+//! the recursive resolver's IP (plus EDNS Client Subnet); our probes query
+//! with an explicit [`QueryContext`] carrying their location. Both designs
+//! give the mapping function the same input signal, so mapping behaviour is
+//! unaffected; what is *not* modelled is mis-mapping via distant third-party
+//! resolvers, which the paper also avoids (Atlas probes use local resolvers).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod context;
+pub mod iterative;
+pub mod resolver;
+pub mod wire;
+pub mod zone;
+
+pub use cache::Cache;
+pub use context::QueryContext;
+pub use iterative::{IterativeResolver, IterativeOutcome};
+pub use resolver::{RecursiveResolver, ResolutionError, ResolutionTrace, TraceStep};
+pub use wire::serve;
+pub use zone::{MappingPolicy, Namespace, Zone, ZoneAnswer};

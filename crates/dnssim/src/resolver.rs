@@ -1,0 +1,285 @@
+//! Recursive resolution with CNAME chasing and full tracing.
+
+use crate::cache::Cache;
+use crate::context::QueryContext;
+use crate::zone::{Namespace, ZoneAnswer};
+use mcdn_dnswire::{Name, RData, RecordType, ResourceRecord};
+use std::net::Ipv4Addr;
+
+/// Longest CNAME chain we will follow. The Apple mapping chain of Figure 2
+/// has at most five edges; real resolvers commonly cap around 8–16.
+pub const MAX_CHAIN: usize = 16;
+
+/// One step of a resolution: a single question asked of one zone (or served
+/// from cache).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStep {
+    /// The name asked.
+    pub qname: Name,
+    /// The type asked.
+    pub qtype: RecordType,
+    /// Records received (empty = NODATA).
+    pub records: Vec<ResourceRecord>,
+    /// Whether this step was answered from the resolver cache.
+    pub from_cache: bool,
+    /// Origin of the answering zone (`None` if cached or NXDOMAIN'd at root).
+    pub zone: Option<Name>,
+}
+
+/// The complete record of one recursive resolution.
+///
+/// The sequence of CNAME edges with their TTLs in `steps` is the measured
+/// object behind Figure 2; [`ResolutionTrace::addresses`] are the cache IPs
+/// counted in Figures 4 and 5.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResolutionTrace {
+    /// Steps in order.
+    pub steps: Vec<TraceStep>,
+}
+
+impl ResolutionTrace {
+    /// All terminal A-record addresses.
+    pub fn addresses(&self) -> Vec<Ipv4Addr> {
+        let mut out = Vec::new();
+        for step in &self.steps {
+            for rr in &step.records {
+                if let RData::A(a) = rr.rdata {
+                    out.push(a);
+                }
+            }
+        }
+        out
+    }
+
+    /// The CNAME chain as `(owner, target, ttl)` edges, in resolution order.
+    pub fn cname_edges(&self) -> Vec<(Name, Name, u32)> {
+        let mut out = Vec::new();
+        for step in &self.steps {
+            for rr in &step.records {
+                if let RData::Cname(target) = &rr.rdata {
+                    out.push((rr.name.clone(), target.clone(), rr.ttl));
+                }
+            }
+        }
+        out
+    }
+
+    /// The final name that produced the terminal records (last qname).
+    pub fn terminal_name(&self) -> Option<&Name> {
+        self.steps.last().map(|s| &s.qname)
+    }
+}
+
+/// Why a resolution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolutionError {
+    /// A name in the chain does not exist.
+    NxDomain(Name),
+    /// The CNAME chain exceeded [`MAX_CHAIN`] hops.
+    ChainTooLong,
+}
+
+impl core::fmt::Display for ResolutionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ResolutionError::NxDomain(n) => write!(f, "NXDOMAIN for {n}"),
+            ResolutionError::ChainTooLong => write!(f, "CNAME chain too long"),
+        }
+    }
+}
+
+impl std::error::Error for ResolutionError {}
+
+/// A recursive resolver with its own cache, as run by each probe.
+#[derive(Debug, Default)]
+pub struct RecursiveResolver {
+    cache: Cache,
+}
+
+impl RecursiveResolver {
+    /// A resolver with a cold cache.
+    pub fn new() -> RecursiveResolver {
+        RecursiveResolver::default()
+    }
+
+    /// Resolves `qname`/`qtype` against `ns`, chasing CNAMEs, consulting and
+    /// filling the cache. Returns the trace even on failure (callers log
+    /// what the probe saw before the error).
+    pub fn resolve(
+        &mut self,
+        ns: &Namespace,
+        qname: &Name,
+        qtype: RecordType,
+        ctx: &QueryContext,
+    ) -> (ResolutionTrace, Result<(), ResolutionError>) {
+        let mut trace = ResolutionTrace::default();
+        let mut current = qname.clone();
+        for _ in 0..MAX_CHAIN {
+            // Cache first.
+            let (records, from_cache, zone) = match self.cache.get(&current, qtype, ctx.now) {
+                Some(cached) => (cached, true, None),
+                None => match ns.query(&current, qtype, ctx) {
+                    (ZoneAnswer::Records(rrs), zone) => {
+                        self.cache.put(current.clone(), qtype, rrs.clone(), ctx.now);
+                        (rrs, false, zone.cloned())
+                    }
+                    (ZoneAnswer::NoData, zone) => {
+                        self.cache.put(current.clone(), qtype, Vec::new(), ctx.now);
+                        (Vec::new(), false, zone.cloned())
+                    }
+                    (ZoneAnswer::NxDomain, _) => {
+                        trace.steps.push(TraceStep {
+                            qname: current.clone(),
+                            qtype,
+                            records: Vec::new(),
+                            from_cache: false,
+                            zone: None,
+                        });
+                        return (trace, Err(ResolutionError::NxDomain(current)));
+                    }
+                },
+            };
+            let next = records.iter().find_map(|rr| match &rr.rdata {
+                RData::Cname(target) if qtype != RecordType::Cname => Some(target.clone()),
+                _ => None,
+            });
+            let terminal = records.iter().any(|rr| rr.rtype() == qtype);
+            trace.steps.push(TraceStep {
+                qname: current.clone(),
+                qtype,
+                records,
+                from_cache,
+                zone,
+            });
+            match next {
+                Some(target) if !terminal => current = target,
+                _ => return (trace, Ok(())),
+            }
+        }
+        (trace, Err(ResolutionError::ChainTooLong))
+    }
+
+    /// Cache statistics `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Empties the cache.
+    pub fn flush(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zone::Zone;
+    use mcdn_geo::{Continent, Coord, Duration, Locode, SimTime};
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn ctx_at(now: SimTime) -> QueryContext {
+        QueryContext {
+            client_ip: Ipv4Addr::new(198, 51, 100, 1),
+            locode: Locode::parse("defra").unwrap(),
+            coord: Coord::new(50.1, 8.7),
+            continent: Continent::Europe,
+            now,
+        }
+    }
+
+    /// A miniature three-zone chain mirroring the Apple mapping shape.
+    fn namespace() -> Namespace {
+        let mut ns = Namespace::new();
+        let mut apple = Zone::new(n("apple.com"));
+        apple.add_cname("appldnld.apple.com", "appldnld.apple.com.akadns.net", 21600);
+        ns.add_zone(apple);
+        let mut akadns = Zone::new(n("akadns.net"));
+        akadns.add_cname("appldnld.apple.com.akadns.net", "appldnld.g.applimg.com", 120);
+        ns.add_zone(akadns);
+        let mut applimg = Zone::new(n("applimg.com"));
+        applimg.add_cname("appldnld.g.applimg.com", "a.gslb.applimg.com", 15);
+        applimg.add_a("a.gslb.applimg.com", Ipv4Addr::new(17, 253, 37, 16), 20);
+        ns.add_zone(applimg);
+        ns
+    }
+
+    #[test]
+    fn follows_full_chain() {
+        let ns = namespace();
+        let mut r = RecursiveResolver::new();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        let (trace, res) = r.resolve(&ns, &n("appldnld.apple.com"), RecordType::A, &ctx_at(t0));
+        res.unwrap();
+        assert_eq!(trace.addresses(), vec![Ipv4Addr::new(17, 253, 37, 16)]);
+        let edges = trace.cname_edges();
+        assert_eq!(edges.len(), 3);
+        assert_eq!(edges[0].2, 21600);
+        assert_eq!(edges[1].2, 120);
+        assert_eq!(edges[2].2, 15);
+        assert_eq!(trace.terminal_name(), Some(&n("a.gslb.applimg.com")));
+        assert!(trace.steps.iter().all(|s| !s.from_cache));
+    }
+
+    #[test]
+    fn second_resolution_hits_cache_selectively() {
+        let ns = namespace();
+        let mut r = RecursiveResolver::new();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        let _ = r.resolve(&ns, &n("appldnld.apple.com"), RecordType::A, &ctx_at(t0));
+        // 30 s later: entry (21600) and akadns (120) CNAMEs still cached;
+        // the 15 s selector and the 20 s A record have expired.
+        let (trace, res) =
+            r.resolve(&ns, &n("appldnld.apple.com"), RecordType::A, &ctx_at(t0 + Duration::secs(30)));
+        res.unwrap();
+        let cached: Vec<bool> = trace.steps.iter().map(|s| s.from_cache).collect();
+        assert_eq!(cached, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn nxdomain_reported_with_trace() {
+        let ns = namespace();
+        let mut r = RecursiveResolver::new();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        let (trace, res) = r.resolve(&ns, &n("missing.apple.com"), RecordType::A, &ctx_at(t0));
+        assert_eq!(res, Err(ResolutionError::NxDomain(n("missing.apple.com"))));
+        assert_eq!(trace.steps.len(), 1);
+    }
+
+    #[test]
+    fn chain_loop_detected() {
+        let mut ns = Namespace::new();
+        let mut z = Zone::new(n("loop.test"));
+        z.add_cname("a.loop.test", "b.loop.test", 60);
+        z.add_cname("b.loop.test", "a.loop.test", 60);
+        ns.add_zone(z);
+        let mut r = RecursiveResolver::new();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        let (_, res) = r.resolve(&ns, &n("a.loop.test"), RecordType::A, &ctx_at(t0));
+        assert_eq!(res, Err(ResolutionError::ChainTooLong));
+    }
+
+    #[test]
+    fn aaaa_returns_nodata_not_error() {
+        let ns = namespace();
+        let mut r = RecursiveResolver::new();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        let (trace, res) = r.resolve(&ns, &n("appldnld.apple.com"), RecordType::Aaaa, &ctx_at(t0));
+        res.unwrap();
+        // The chain is followed, but no AAAA exists at the end.
+        assert!(trace.addresses().is_empty());
+    }
+
+    #[test]
+    fn cname_query_does_not_chase() {
+        let ns = namespace();
+        let mut r = RecursiveResolver::new();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        let (trace, res) =
+            r.resolve(&ns, &n("appldnld.apple.com"), RecordType::Cname, &ctx_at(t0));
+        res.unwrap();
+        assert_eq!(trace.steps.len(), 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type for DNS wire encoding and decoding.
+
+use core::fmt;
+
+/// Everything that can go wrong while parsing or emitting a DNS message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the structure was complete.
+    Truncated,
+    /// A label exceeded 63 octets.
+    LabelTooLong,
+    /// A name exceeded 255 octets on the wire.
+    NameTooLong,
+    /// A domain-name string was empty or otherwise malformed.
+    BadName,
+    /// A compression pointer pointed forward or formed a loop.
+    BadPointer,
+    /// A label length octet used the reserved `0b10xxxxxx`/`0b01xxxxxx` forms.
+    BadLabelType,
+    /// An RDATA section did not match its declared RDLENGTH.
+    BadRdata,
+    /// A TXT character-string exceeded 255 octets.
+    TxtTooLong,
+    /// The output buffer was too small for the encoded message.
+    BufferTooSmall,
+    /// A count field in the header promised more records than were present.
+    CountMismatch,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WireError::Truncated => "message truncated",
+            WireError::LabelTooLong => "label longer than 63 octets",
+            WireError::NameTooLong => "name longer than 255 octets",
+            WireError::BadName => "malformed domain name",
+            WireError::BadPointer => "invalid compression pointer",
+            WireError::BadLabelType => "reserved label type",
+            WireError::BadRdata => "RDATA length mismatch",
+            WireError::TxtTooLong => "TXT string longer than 255 octets",
+            WireError::BufferTooSmall => "output buffer too small",
+            WireError::CountMismatch => "record count mismatch",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for WireError {}

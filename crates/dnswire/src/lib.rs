@@ -1,0 +1,36 @@
+//! RFC 1035 DNS wire format, implemented from scratch.
+//!
+//! This crate is the protocol substrate of the measurement platform: probes
+//! and the recursive resolver in `mcdn-dnssim` exchange real DNS packets so
+//! the reproduction exercises the same encode/decode path a production
+//! measurement tool would.
+//!
+//! Design follows the smoltcp school: explicit [`Message::encode`] /
+//! [`Message::decode`] on byte buffers, no panics on malformed input, one
+//! error enum ([`WireError`]) for the whole layer. Encoding performs standard
+//! RFC 1035 §4.1.4 name compression; decoding follows compression pointers
+//! with loop protection.
+//!
+//! Supported record types cover everything the paper's measurement needs:
+//! `A` for cache addresses, `CNAME` for the mapping-chain edges of Figure 2,
+//! `NS`/`SOA` for delegation, `PTR` for the reverse-DNS naming-scheme
+//! analysis (Table 1), `TXT` and `AAAA` for completeness (the paper notes the
+//! mapping entry points answer no AAAA — tests assert that behaviour in the
+//! simulator).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod display;
+pub mod edns;
+pub mod error;
+pub mod message;
+pub mod name;
+pub mod rr;
+
+pub use display::dig_format;
+pub use edns::{attach_ecs, extract_ecs, ClientSubnet};
+pub use error::WireError;
+pub use message::{Flags, Header, Message, Opcode, Question, Rcode};
+pub use name::Name;
+pub use rr::{Class, RData, RecordType, ResourceRecord};

@@ -1,0 +1,152 @@
+//! Continents and Meta-CDN routing regions.
+
+use core::fmt;
+
+/// The six populated continents, as used by the paper's Figure 4 grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Continent {
+    /// Africa.
+    Africa,
+    /// Asia.
+    Asia,
+    /// Europe.
+    Europe,
+    /// North America (including Central America and the Caribbean).
+    NorthAmerica,
+    /// Oceania.
+    Oceania,
+    /// South America.
+    SouthAmerica,
+}
+
+impl Continent {
+    /// All continents in the display order of the paper's Figure 4
+    /// (alphabetical: Africa, Asia, Europe, North America, Oceania, South
+    /// America).
+    pub const ALL: [Continent; 6] = [
+        Continent::Africa,
+        Continent::Asia,
+        Continent::Europe,
+        Continent::NorthAmerica,
+        Continent::Oceania,
+        Continent::SouthAmerica,
+    ];
+
+    /// Human-readable name as printed in figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Continent::Africa => "Africa",
+            Continent::Asia => "Asia",
+            Continent::Europe => "Europe",
+            Continent::NorthAmerica => "North America",
+            Continent::Oceania => "Oceania",
+            Continent::SouthAmerica => "South America",
+        }
+    }
+
+    /// The Meta-CDN routing region this continent maps to.
+    ///
+    /// Apple's third-party selector (step 3 in Figure 2) distinguishes only
+    /// `us`, `eu` and `apac` load-balancer entries; clients on continents
+    /// without a dedicated entry are served by the nearest one, which the
+    /// paper's data shows to be: South America → US, Africa → EU, Asia and
+    /// Oceania → APAC.
+    pub fn region(&self) -> Region {
+        match self {
+            Continent::NorthAmerica | Continent::SouthAmerica => Region::Us,
+            Continent::Europe | Continent::Africa => Region::Eu,
+            Continent::Asia | Continent::Oceania => Region::Apac,
+        }
+    }
+}
+
+impl fmt::Display for Continent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Meta-CDN routing region, matching the `ios8-{us|eu|apac}-lb` DNS names of
+/// the third-party CDN selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Region {
+    /// Americas, served via `ios8-us-lb.apple.com.akadns.net`.
+    Us,
+    /// Europe (and Africa), served via `ios8-eu-lb.apple.com.akadns.net`.
+    Eu,
+    /// Asia-Pacific, served via `ios8-apac-lb.apple.com.akadns.net`.
+    Apac,
+}
+
+impl Region {
+    /// All regions.
+    pub const ALL: [Region; 3] = [Region::Us, Region::Eu, Region::Apac];
+
+    /// The lowercase label used inside DNS names (`us`, `eu`, `apac`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Region::Us => "us",
+            Region::Eu => "eu",
+            Region::Apac => "apac",
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Countries that Apple's entry-point mapping (step 1 in Figure 2) singles
+/// out: requests from China and India are diverted to dedicated
+/// `{china|india}-lb.itunes-apple.com.akadns.net` infrastructure before any
+/// CDN selection happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialMarket {
+    /// Mainland China.
+    China,
+    /// India.
+    India,
+}
+
+impl SpecialMarket {
+    /// Lowercase label used inside the dedicated load-balancer DNS names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpecialMarket::China => "china",
+            SpecialMarket::India => "india",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_mapping_matches_paper() {
+        assert_eq!(Continent::Europe.region(), Region::Eu);
+        assert_eq!(Continent::NorthAmerica.region(), Region::Us);
+        assert_eq!(Continent::Asia.region(), Region::Apac);
+        assert_eq!(Continent::Oceania.region(), Region::Apac);
+        assert_eq!(Continent::SouthAmerica.region(), Region::Us);
+        assert_eq!(Continent::Africa.region(), Region::Eu);
+    }
+
+    #[test]
+    fn labels_are_dns_safe() {
+        for r in Region::ALL {
+            assert!(r.label().chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn all_continents_listed_once() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Continent::ALL {
+            assert!(seen.insert(c));
+        }
+        assert_eq!(seen.len(), 6);
+    }
+}

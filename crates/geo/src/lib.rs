@@ -1,0 +1,32 @@
+//! Geographic and temporal primitives shared by the whole `metacdn` workspace.
+//!
+//! This crate provides:
+//!
+//! * [`Coord`] — WGS-84 style latitude/longitude pairs with great-circle
+//!   distance ([`Coord::distance_km`]).
+//! * [`Continent`] and [`Region`] — the coarse location classes the paper
+//!   aggregates by (Figure 4 groups by continent; the Meta-CDN selector in
+//!   Figure 2 routes by `us` / `eu` / `apac` region).
+//! * [`Locode`] and the [`locode::Registry`] — UN/LOCODE style five-letter
+//!   city codes used by Apple's CDN server naming scheme (Table 1 of the
+//!   paper), together with an embedded registry of world cities used for
+//!   placing cache sites, probes, and vantage points.
+//! * [`SimTime`] — simulated wall-clock time with a built-in civil calendar,
+//!   so scenario code can speak in terms of "Sep 19 2017 17:00 UTC" (the iOS
+//!   11.0 release instant) without a date-time dependency.
+//!
+//! Everything here is deterministic and allocation-light; the types are
+//! `Copy` where possible so they can be embedded freely in simulation state.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod continent;
+pub mod coord;
+pub mod locode;
+pub mod time;
+
+pub use continent::{Continent, Region};
+pub use coord::Coord;
+pub use locode::{City, Locode, Registry};
+pub use time::{Duration, SimTime};

@@ -1,0 +1,107 @@
+//! Offload and overflow classification (§5.1 of the paper).
+//!
+//! * **Source AS** — the AS originating the traffic (the server's address,
+//!   looked up in BGP).
+//! * **Handover AS** — the direct neighbor handing the traffic to the ISP
+//!   (from the ingress link), possibly a transit AS unrelated to any CDN.
+//! * **Offload** — traffic the Meta-CDN delivers via a third-party CDN,
+//!   i.e. the Source AS is a third-party CDN.
+//! * **Overflow** — traffic received from a non-direct neighbor: Source AS
+//!   and Handover AS differ.
+//!
+//! The two are orthogonal: third-party traffic arriving via a transit AS is
+//! both; Apple traffic via a transit AS is overflow only.
+
+use mcdn_netsim::AsId;
+use std::collections::HashSet;
+
+/// What kind of update traffic a flow carries, from the ISP's viewpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowClass {
+    /// Originating AS.
+    pub source_as: AsId,
+    /// Neighbor AS that handed the flow to the ISP.
+    pub handover_as: AsId,
+    /// Source AS is a third-party CDN serving Apple content.
+    pub offload: bool,
+    /// Source AS differs from handover AS.
+    pub overflow: bool,
+}
+
+/// Orthogonal traffic-kind view used in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrafficKind {
+    /// Served by the content provider's own CDN via a direct link.
+    DirectOwn,
+    /// Offload only: third-party CDN, direct peering.
+    OffloadDirect,
+    /// Overflow only: own CDN via an intermediate AS.
+    OverflowOwn,
+    /// Both: third-party CDN via an intermediate AS.
+    OffloadOverflow,
+}
+
+/// Classifies one flow given the set of third-party CDN ASes.
+pub fn classify_flow(
+    source_as: AsId,
+    handover_as: AsId,
+    third_party_ases: &HashSet<AsId>,
+) -> FlowClass {
+    FlowClass {
+        source_as,
+        handover_as,
+        offload: third_party_ases.contains(&source_as),
+        overflow: source_as != handover_as,
+    }
+}
+
+impl FlowClass {
+    /// The four-way kind.
+    pub fn kind(&self) -> TrafficKind {
+        match (self.offload, self.overflow) {
+            (false, false) => TrafficKind::DirectOwn,
+            (true, false) => TrafficKind::OffloadDirect,
+            (false, true) => TrafficKind::OverflowOwn,
+            (true, true) => TrafficKind::OffloadOverflow,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn thirds() -> HashSet<AsId> {
+        [AsId(20940), AsId(22822)].into_iter().collect() // Akamai, Limelight
+    }
+
+    #[test]
+    fn akamai_via_direct_peering_is_offload_only() {
+        let c = classify_flow(AsId(20940), AsId(20940), &thirds());
+        assert!(c.offload && !c.overflow);
+        assert_eq!(c.kind(), TrafficKind::OffloadDirect);
+    }
+
+    #[test]
+    fn apple_via_transit_is_overflow_only() {
+        // "Apple traffic going via Other ASes is overflow traffic only."
+        let c = classify_flow(AsId(714), AsId(64500), &thirds());
+        assert!(!c.offload && c.overflow);
+        assert_eq!(c.kind(), TrafficKind::OverflowOwn);
+    }
+
+    #[test]
+    fn limelight_via_transit_is_both() {
+        // "Akamai and Limelight traffic going via Other ASes is both."
+        let c = classify_flow(AsId(22822), AsId(64501), &thirds());
+        assert!(c.offload && c.overflow);
+        assert_eq!(c.kind(), TrafficKind::OffloadOverflow);
+    }
+
+    #[test]
+    fn apple_direct_is_neither() {
+        let c = classify_flow(AsId(714), AsId(714), &thirds());
+        assert!(!c.offload && !c.overflow);
+        assert_eq!(c.kind(), TrafficKind::DirectOwn);
+    }
+}

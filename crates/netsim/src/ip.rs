@@ -1,0 +1,267 @@
+//! IPv4 prefixes and longest-prefix-match lookup.
+
+use core::fmt;
+use std::net::Ipv4Addr;
+
+/// An IPv4 network prefix in CIDR notation, e.g. `17.0.0.0/8` (Apple's
+/// address block, which the paper scans to discover delivery sites).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv4Net {
+    addr: Ipv4Addr,
+    prefix_len: u8,
+}
+
+impl Ipv4Net {
+    /// Creates a prefix, normalizing host bits to zero. `prefix_len` is
+    /// clamped to 32.
+    pub fn new(addr: Ipv4Addr, prefix_len: u8) -> Ipv4Net {
+        let prefix_len = prefix_len.min(32);
+        let bits = u32::from(addr) & Self::mask(prefix_len);
+        Ipv4Net { addr: Ipv4Addr::from(bits), prefix_len }
+    }
+
+    /// Parses CIDR notation like `17.253.0.0/16`.
+    pub fn parse(s: &str) -> Option<Ipv4Net> {
+        let (addr, len) = s.split_once('/')?;
+        let addr: Ipv4Addr = addr.parse().ok()?;
+        let len: u8 = len.parse().ok()?;
+        if len > 32 {
+            return None;
+        }
+        Some(Ipv4Net::new(addr, len))
+    }
+
+    fn mask(prefix_len: u8) -> u32 {
+        if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix_len as u32)
+        }
+    }
+
+    /// The network address.
+    pub fn network(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// The prefix length.
+    pub fn prefix_len(&self) -> u8 {
+        self.prefix_len
+    }
+
+    /// Whether `ip` lies inside this prefix.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        u32::from(ip) & Self::mask(self.prefix_len) == u32::from(self.addr)
+    }
+
+    /// Whether `other` is fully contained in (or equal to) this prefix.
+    pub fn covers(&self, other: &Ipv4Net) -> bool {
+        other.prefix_len >= self.prefix_len && self.contains(other.addr)
+    }
+
+    /// Number of addresses in the prefix (2^(32-len), saturating for /0).
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.prefix_len as u32)
+    }
+
+    /// The `index`-th address inside the prefix, if in range.
+    pub fn nth(&self, index: u64) -> Option<Ipv4Addr> {
+        if index >= self.size() {
+            return None;
+        }
+        Some(Ipv4Addr::from(u32::from(self.addr) + index as u32))
+    }
+
+    /// Iterates all addresses in the prefix (careful with short prefixes).
+    pub fn iter(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        (0..self.size()).map(move |i| self.nth(i).expect("index in range"))
+    }
+}
+
+impl fmt::Display for Ipv4Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.prefix_len)
+    }
+}
+
+/// A binary trie keyed by IPv4 prefixes with longest-prefix-match lookup —
+/// the data structure behind the simulated BGP RIB (the real ISP tracked
+/// ~60 M routes; ours holds the scenario's few hundred but with the same
+/// semantics).
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<T> {
+    nodes: Vec<TrieNode<T>>,
+}
+
+#[derive(Debug, Clone)]
+struct TrieNode<T> {
+    children: [Option<u32>; 2],
+    value: Option<T>,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        PrefixTrie { nodes: vec![TrieNode { children: [None, None], value: None }] }
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bit(addr: u32, depth: u8) -> usize {
+        ((addr >> (31 - depth as u32)) & 1) as usize
+    }
+
+    /// Inserts `value` at `prefix`, replacing and returning any previous
+    /// value for the exact same prefix.
+    pub fn insert(&mut self, prefix: Ipv4Net, value: T) -> Option<T> {
+        let addr = u32::from(prefix.network());
+        let mut node = 0usize;
+        for depth in 0..prefix.prefix_len() {
+            let b = Self::bit(addr, depth);
+            node = match self.nodes[node].children[b] {
+                Some(next) => next as usize,
+                None => {
+                    let next = self.nodes.len();
+                    self.nodes.push(TrieNode { children: [None, None], value: None });
+                    self.nodes[node].children[b] = Some(next as u32);
+                    next
+                }
+            };
+        }
+        self.nodes[node].value.replace(value)
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: &Ipv4Net) -> Option<&T> {
+        let addr = u32::from(prefix.network());
+        let mut node = 0usize;
+        for depth in 0..prefix.prefix_len() {
+            node = self.nodes[node].children[Self::bit(addr, depth)]? as usize;
+        }
+        self.nodes[node].value.as_ref()
+    }
+
+    /// Longest-prefix match: the most specific entry covering `ip`, with the
+    /// matched prefix length.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<(u8, &T)> {
+        let addr = u32::from(ip);
+        let mut node = 0usize;
+        let mut best: Option<(u8, &T)> = self.nodes[0].value.as_ref().map(|v| (0, v));
+        for depth in 0..32u8 {
+            match self.nodes[node].children[Self::bit(addr, depth)] {
+                Some(next) => {
+                    node = next as usize;
+                    if let Some(v) = self.nodes[node].value.as_ref() {
+                        best = Some((depth + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.nodes.iter().filter(|n| n.value.is_some()).count()
+    }
+
+    /// Whether the trie holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(s: &str) -> Ipv4Net {
+        Ipv4Net::parse(s).unwrap()
+    }
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(net("17.0.0.0/8").to_string(), "17.0.0.0/8");
+        assert!(Ipv4Net::parse("17.0.0.0/33").is_none());
+        assert!(Ipv4Net::parse("17.0.0.0").is_none());
+        assert!(Ipv4Net::parse("x/8").is_none());
+    }
+
+    #[test]
+    fn host_bits_normalized() {
+        assert_eq!(net("17.253.37.99/16"), net("17.253.0.0/16"));
+    }
+
+    #[test]
+    fn containment() {
+        let apple8 = net("17.0.0.0/8");
+        assert!(apple8.contains(ip("17.253.37.16")));
+        assert!(!apple8.contains(ip("23.0.0.1")));
+        assert!(apple8.covers(&net("17.253.0.0/16")));
+        assert!(!net("17.253.0.0/16").covers(&apple8));
+        assert!(apple8.covers(&apple8));
+    }
+
+    #[test]
+    fn nth_and_size() {
+        let n = net("192.0.2.0/30");
+        assert_eq!(n.size(), 4);
+        assert_eq!(n.nth(0), Some(ip("192.0.2.0")));
+        assert_eq!(n.nth(3), Some(ip("192.0.2.3")));
+        assert_eq!(n.nth(4), None);
+        assert_eq!(n.iter().count(), 4);
+    }
+
+    #[test]
+    fn trie_longest_prefix_match() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(net("17.0.0.0/8"), "apple-agg");
+        trie.insert(net("17.253.0.0/16"), "apple-cdn");
+        trie.insert(net("0.0.0.0/0"), "default");
+        assert_eq!(trie.lookup(ip("17.253.1.1")), Some((16, &"apple-cdn")));
+        assert_eq!(trie.lookup(ip("17.1.1.1")), Some((8, &"apple-agg")));
+        assert_eq!(trie.lookup(ip("8.8.8.8")), Some((0, &"default")));
+        assert_eq!(trie.len(), 3);
+    }
+
+    #[test]
+    fn trie_without_default_misses() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(net("10.0.0.0/8"), 1);
+        assert_eq!(trie.lookup(ip("11.0.0.1")), None);
+    }
+
+    #[test]
+    fn trie_replace_returns_old() {
+        let mut trie = PrefixTrie::new();
+        assert_eq!(trie.insert(net("10.0.0.0/8"), 1), None);
+        assert_eq!(trie.insert(net("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(trie.get(&net("10.0.0.0/8")), Some(&2));
+    }
+
+    #[test]
+    fn trie_exact_get_distinguishes_lengths() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(net("10.0.0.0/8"), 8);
+        trie.insert(net("10.0.0.0/16"), 16);
+        assert_eq!(trie.get(&net("10.0.0.0/8")), Some(&8));
+        assert_eq!(trie.get(&net("10.0.0.0/16")), Some(&16));
+        assert_eq!(trie.get(&net("10.0.0.0/24")), None);
+    }
+
+    #[test]
+    fn host_route_matches() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(net("192.0.2.7/32"), "host");
+        assert_eq!(trie.lookup(ip("192.0.2.7")), Some((32, &"host")));
+        assert_eq!(trie.lookup(ip("192.0.2.8")), None);
+    }
+}

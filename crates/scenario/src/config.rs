@@ -1,0 +1,126 @@
+//! Scenario run configurations.
+
+use mcdn_geo::{Duration, SimTime};
+
+/// Knobs controlling campaign fidelity vs. runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioConfig {
+    /// RNG seed (probe placement).
+    pub seed: u64,
+    /// Probes in the global fleet (paper: 800).
+    pub global_probes: usize,
+    /// Probes inside the Eyeball ISP (paper: 400).
+    pub isp_probes: usize,
+    /// DNS measurement interval of the global fleet (paper: 5 minutes).
+    pub global_dns_interval: Duration,
+    /// DNS measurement interval of the in-ISP fleet (paper: 12 hours).
+    pub isp_dns_interval: Duration,
+    /// Global campaign window start (paper: Sep 12).
+    pub global_start: SimTime,
+    /// Global campaign window end (paper: Oct 3).
+    pub global_end: SimTime,
+    /// ISP campaign window start (paper: Aug 20).
+    pub isp_start: SimTime,
+    /// ISP campaign window end (paper: Dec 31).
+    pub isp_end: SimTime,
+    /// ISP traffic-collection window start (paper: Sep 15).
+    pub traffic_start: SimTime,
+    /// ISP traffic-collection window end (paper: Sep 23).
+    pub traffic_end: SimTime,
+    /// Traffic/SNMP tick (paper: 5-minute SNMP polls).
+    pub traffic_tick: Duration,
+    /// Server IPs each CDN's ISP traffic is spread over per tick.
+    pub flows_per_cdn: usize,
+    /// NetFlow packet-sampling interval (paper-era default: 1 in 1000).
+    pub netflow_sampling: u32,
+    /// Re-enable Level3 as a third CDN (the pre-June-2017 configuration;
+    /// the paper measured the world *after* its removal, so this is off by
+    /// default and exists to study the removal as configuration).
+    pub enable_level3: bool,
+    /// Fraction of probes online at any time (1.0 = idealized fleet; real
+    /// Atlas fleets churn around 0.9).
+    pub probe_availability: f64,
+    /// How traffic is placed on parallel links between the same AS pair.
+    pub link_selection: LinkSelection,
+}
+
+/// Parallel-link load placement at the border.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkSelection {
+    /// Fill links in id order; later links take overflow. Under partial
+    /// load some links saturate while others stay light — the pattern the
+    /// paper reports for AS D ("two of which become entirely saturated").
+    FillOrder,
+    /// Hash each flow across the parallel links (ECMP). Load spreads
+    /// evenly, so the group saturates together or not at all.
+    Ecmp,
+}
+
+impl ScenarioConfig {
+    /// Full paper-scale configuration.
+    pub fn paper() -> ScenarioConfig {
+        ScenarioConfig {
+            seed: 0x1005_11_2017,
+            global_probes: 800,
+            isp_probes: 400,
+            global_dns_interval: Duration::mins(5),
+            isp_dns_interval: Duration::hours(12),
+            global_start: SimTime::from_ymd(2017, 9, 12),
+            global_end: SimTime::from_ymd(2017, 10, 3),
+            isp_start: SimTime::from_ymd(2017, 8, 20),
+            isp_end: SimTime::from_ymd(2017, 12, 31),
+            traffic_start: SimTime::from_ymd(2017, 9, 15),
+            traffic_end: SimTime::from_ymd(2017, 9, 23),
+            traffic_tick: Duration::mins(5),
+            flows_per_cdn: 40,
+            netflow_sampling: 1000,
+            enable_level3: false,
+            probe_availability: 1.0,
+            link_selection: LinkSelection::FillOrder,
+        }
+    }
+
+    /// Reduced configuration for tests and benches: fewer probes, coarser
+    /// intervals, a window tightly around the event. All *mechanisms* are
+    /// identical; only sampling density drops.
+    pub fn fast() -> ScenarioConfig {
+        ScenarioConfig {
+            global_probes: 160,
+            isp_probes: 80,
+            global_dns_interval: Duration::mins(30),
+            global_start: SimTime::from_ymd(2017, 9, 16),
+            global_end: SimTime::from_ymd(2017, 9, 23),
+            isp_start: SimTime::from_ymd(2017, 9, 10),
+            isp_end: SimTime::from_ymd(2017, 10, 7),
+            traffic_tick: Duration::mins(15),
+            flows_per_cdn: 25,
+            ..ScenarioConfig::paper()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_windows_match_figure_1() {
+        let c = ScenarioConfig::paper();
+        assert_eq!(c.global_start.to_ymd_hms().1, 9);
+        assert_eq!(c.global_start.to_ymd_hms().2, 12);
+        assert_eq!(c.global_end.to_ymd_hms().1, 10);
+        assert!(c.isp_start < c.global_start);
+        assert!(c.isp_end > c.global_end);
+        assert_eq!(c.global_probes, 800);
+        assert_eq!(c.isp_probes, 400);
+    }
+
+    #[test]
+    fn fast_is_strictly_smaller() {
+        let p = ScenarioConfig::paper();
+        let f = ScenarioConfig::fast();
+        assert!(f.global_probes < p.global_probes);
+        assert!(f.global_dns_interval > p.global_dns_interval);
+        assert!(f.global_end.since(f.global_start) < p.global_end.since(p.global_start));
+    }
+}

@@ -1,0 +1,49 @@
+//! The calibrated iOS 11 rollout scenario.
+//!
+//! This crate assembles every substrate into the world the paper measured,
+//! and drives the three measurement campaigns over it:
+//!
+//! * [`sites`] — Apple's 34 delivery-site locations with per-site server
+//!   counts (the ground truth Figure 3 rediscovers by scanning).
+//! * [`params`] — every calibrated constant (capacities, pool sizes, weight
+//!   schedule, baselines) with the paper observation each one encodes.
+//!   **Mechanism vs. input:** the schedule and pool sizes are exogenous
+//!   commercial decisions in reality too; everything downstream (traffic
+//!   split, unique-IP counts, overflow, saturation) is computed.
+//! * [`world`] — the AS topology (Eyeball ISP, Apple, Akamai, Limelight,
+//!   transits A–D, off-net cache ASes, ~40 small handover ASes), the CDNs,
+//!   the Meta-CDN namespace, probe fleets and vantage VMs.
+//! * [`loads`] — the per-tick feedback loop: continent demand → scheduled
+//!   shares → Apple utilization → effective shares → third-party pool loads.
+//! * [`dnscampaign`] — the RIPE-Atlas-style DNS campaigns (global and
+//!   in-ISP) producing unique-IP series and the DNS-observed IP↔CDN map.
+//! * [`traffic`] — the ISP border telemetry simulation: flows over BGP
+//!   paths onto capacity-limited peering links, NetFlow sampling, SNMP.
+//! * [`timeline()`] — the Figure 1 measurement calendar.
+//! * [`classes`] — the CDN classification used in every figure legend
+//!   (Akamai / Akamai other AS / Limelight / Limelight other AS / Apple /
+//!   other), derived per the paper's method: DNS attribution for the CDN,
+//!   BGP origin for the "other AS" split.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bgpfeed;
+pub mod classes;
+pub mod config;
+pub mod dnscampaign;
+pub mod loads;
+pub mod params;
+pub mod sites;
+pub mod timeline;
+pub mod tracecampaign;
+pub mod traffic;
+pub mod world;
+
+pub use classes::CdnClass;
+pub use config::{LinkSelection, ScenarioConfig};
+pub use dnscampaign::{run_global_dns, run_isp_dns, DnsCampaignResult};
+pub use timeline::{timeline, TimelineEntry};
+pub use tracecampaign::{run_traceroutes, TracerouteCampaignResult};
+pub use traffic::{run_isp_traffic, TrafficResult};
+pub use world::World;

@@ -1,0 +1,379 @@
+//! The ISP border-telemetry simulation.
+//!
+//! Every tick, the Eyeball ISP receives (a) each CDN's baseline traffic and
+//! (b) its share of the update flash crowd, spread across the server
+//! addresses that CDN currently exposes. Each per-server flow is routed
+//! over the valley-free AS path, lands on a concrete peering link (parallel
+//! links fill up in order — the saturation mechanism of §5.4), is counted
+//! exactly by SNMP, and sampled into NetFlow v5 records. The analysis crate
+//! then re-runs the paper's §5 pipeline over these artifacts.
+
+use crate::classes::CdnClass;
+use crate::config::{LinkSelection, ScenarioConfig};
+use crate::loads::update_loads;
+use crate::params;
+use crate::world::World;
+use mcdn_cdn::site::fnv64;
+use mcdn_geo::{Continent, Region, SimTime};
+use mcdn_isp::netflow::make_record;
+use mcdn_isp::{FlowRecord, Sampler, SnmpCounters};
+use mcdn_netsim::{AsId, LinkId, Router};
+use mcdn_workload::diurnal;
+use metacdn::CdnKind;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Output of the traffic collection window.
+pub struct TrafficResult {
+    /// Sampled NetFlow records with their bin and ingress link.
+    pub flows: Vec<(SimTime, LinkId, FlowRecord)>,
+    /// Exact SNMP octet counters per link and poll.
+    pub snmp: SnmpCounters,
+    /// Bytes that exceeded total capacity of a handover's links (dropped).
+    pub dropped_bytes: u64,
+    /// The sampling configuration used.
+    pub sampling: u32,
+}
+
+/// One logical flow offered to the border in a tick.
+struct Offered {
+    src: Ipv4Addr,
+    bytes: f64,
+}
+
+/// Spread `total_bytes` across up to `n` addresses of `pool`, rotating the
+/// window by tick so the whole pool carries traffic over time.
+fn spread(pool: &[Ipv4Addr], n: usize, total_bytes: f64, tick_salt: u64) -> Vec<Offered> {
+    if pool.is_empty() || total_bytes <= 0.0 {
+        return Vec::new();
+    }
+    let n = n.min(pool.len());
+    let start = (fnv64(&tick_salt.to_be_bytes()) as usize) % pool.len();
+    (0..n)
+        .map(|j| Offered { src: pool[(start + j) % pool.len()], bytes: total_bytes / n as f64 })
+        .collect()
+}
+
+/// Runs the border telemetry over `cfg`'s traffic window.
+pub fn run_isp_traffic(world: &World, cfg: &ScenarioConfig) -> TrafficResult {
+    let mut router = Router::new();
+    let mut snmp = SnmpCounters::new();
+    let sampler = Sampler::new(cfg.netflow_sampling);
+    let mut flows: Vec<(SimTime, LinkId, FlowRecord)> = Vec::new();
+    let mut dropped = 0u64;
+    let tick = cfg.traffic_tick;
+    let eyeball = params::EYEBALL_AS;
+    let release = params::release();
+
+    let mut t = cfg.traffic_start;
+    while t < cfg.traffic_end {
+        update_loads(world, t);
+        let eff = world.state.effective_share(Region::Eu, t);
+        let eff_of = |k: CdnKind| eff.iter().find(|(x, _)| *x == k).map(|(_, p)| *p).unwrap_or(0.0);
+        let d_isp = mcdn_workload::demand_bps(&world.adoption, Continent::Europe, t)
+            * params::ISP_SHARE_OF_EU;
+        let day_factor = diurnal(Continent::Europe, t, 0.45);
+        let tick_bytes = |bps: f64| bps * tick.as_secs() as f64 / 8.0;
+
+        let mut offered: Vec<Offered> = Vec::new();
+        for (kind, class) in [
+            (CdnKind::Apple, CdnClass::Apple),
+            (CdnKind::Akamai, CdnClass::Akamai),
+            (CdnKind::Limelight, CdnClass::Limelight),
+        ] {
+            let update_bps = eff_of(kind) * d_isp;
+            let base_bps = params::baseline_peak_bps(class) * day_factor / 1.45;
+            // Baseline (non-update) traffic flows from each CDN's *stable*
+            // serving footprint; only the flash-crowd update traffic is
+            // spread over the load-widened pool — surge caches are brought
+            // up for the event, not for everyday content.
+            let (stable_pool, update_pool): (Vec<Ipv4Addr>, Vec<Ipv4Addr>) = match kind {
+                CdnKind::Apple => (world.apple_isp_vips.clone(), world.apple_isp_vips.clone()),
+                CdnKind::Akamai => {
+                    // Akamai's widened pool (surge + off-net) serves only
+                    // once the a1015 event map is live — before that its
+                    // serving footprint is what the baseline map exposes.
+                    let load = world.state.cdn_load(CdnKind::Akamai, Region::Eu);
+                    let serving_load = if world.state.a1015_active(Region::Eu, t) {
+                        // The pre-provisioned event map serves from the
+                        // full ramp while live (mirrors the DNS policy).
+                        load.max(0.8)
+                    } else {
+                        load.min(0.5)
+                    };
+                    (
+                        world.akamai.exposed(Region::Eu, 0.0),
+                        world.akamai.exposed(Region::Eu, serving_load),
+                    )
+                }
+                CdnKind::Limelight => {
+                    let load = world.state.cdn_load(CdnKind::Limelight, Region::Eu);
+                    (
+                        world.limelight.exposed(Region::Eu, 0.0),
+                        world.limelight.exposed(Region::Eu, load),
+                    )
+                }
+                CdnKind::Level3 => (Vec::new(), Vec::new()),
+            };
+            offered.extend(spread(
+                &stable_pool,
+                cfg.flows_per_cdn,
+                tick_bytes(base_bps),
+                t.as_secs() ^ kind as u64,
+            ));
+            offered.extend(spread(
+                &update_pool,
+                cfg.flows_per_cdn,
+                tick_bytes(update_bps),
+                t.as_secs() ^ kind as u64 ^ 0x5EED,
+            ));
+        }
+
+        // Limelight pre-fill (the AS-A spike of Sep 19): cache-fill traffic
+        // from the A-side caches during the first hours after release.
+        let prefill_end = release + mcdn_geo::Duration::hours(params::PREFILL_HOURS);
+        if t >= release && t < prefill_end {
+            let pool: Vec<Ipv4Addr> = ll_a_side_pool();
+            offered.extend(spread(
+                &pool,
+                pool.len(),
+                tick_bytes(params::PREFILL_FRACTION * d_isp),
+                t.as_secs() ^ 0xF111,
+            ));
+        }
+
+        // Route every offered flow onto a concrete ingress link.
+        let mut link_used: HashMap<LinkId, u64> = HashMap::new();
+        for flow in &offered {
+            let Some(src_as) = world.topo.origin_of(flow.src) else { continue };
+            let Some(path) = router.path(&world.topo, src_as, eyeball) else { continue };
+            let handover = Router::handover(&path).unwrap_or(src_as);
+            let mut remaining = flow.bytes as u64;
+            let mut links: Vec<_> = world.topo.links_between(handover, eyeball);
+            links.sort_by_key(|l| l.id);
+            if cfg.link_selection == LinkSelection::Ecmp && links.len() > 1 {
+                // Rotate so this flow's hash picks its primary link; the
+                // fill loop below then only spills on saturation.
+                let pick = (fnv64(&flow.src.octets()) % links.len() as u64) as usize;
+                links.rotate_left(pick);
+            }
+            let mut landed: Vec<(LinkId, u64)> = Vec::new();
+            for link in &links {
+                if remaining == 0 {
+                    break;
+                }
+                let cap_bytes = (link.capacity_bps * tick.as_secs() as f64 / 8.0) as u64;
+                let used = link_used.entry(link.id).or_insert(0);
+                let room = cap_bytes.saturating_sub(*used);
+                let take = remaining.min(room);
+                if take > 0 {
+                    *used += take;
+                    landed.push((link.id, take));
+                    remaining -= take;
+                }
+            }
+            dropped += remaining;
+            // NetFlow v5 byte counters are 32-bit; routers split long-lived
+            // flows into multiple records (active timeout). Chunk so the
+            // *sampled* count (true/1000) always fits.
+            const MAX_FLOW_BYTES: u64 = 2_000_000_000_000;
+            for (link_id, bytes) in landed {
+                snmp.account(link_id, bytes);
+                let mut left = bytes;
+                let mut chunk_i = 0u8;
+                while left > 0 {
+                    let chunk = left.min(MAX_FLOW_BYTES);
+                    // Subscribers are spread over the ISP's prefix; each
+                    // chunk goes to a different one (distinct flow keys).
+                    let dst = Ipv4Addr::new(
+                        84,
+                        17,
+                        (fnv64(&flow.src.octets()) % 200) as u8,
+                        20u8.wrapping_add(chunk_i),
+                    );
+                    if let Some(sampled) = sampler.sample(chunk, (flow.src, dst, t)) {
+                        let rec = make_record(
+                            flow.src,
+                            dst,
+                            (link_id.0 & 0xFFFF) as u16,
+                            sampled,
+                            src_as,
+                            eyeball,
+                        );
+                        flows.push((t, link_id, rec));
+                    }
+                    left -= chunk;
+                    chunk_i = chunk_i.wrapping_add(1);
+                }
+            }
+        }
+        snmp.poll(t);
+        t += tick;
+    }
+    TrafficResult { flows, snmp, dropped_bytes: dropped, sampling: cfg.netflow_sampling }
+}
+
+/// The Limelight A-side cache addresses used for pre-fill injection.
+fn ll_a_side_pool() -> Vec<Ipv4Addr> {
+    let (ra, ..) = params::LL_REGIONAL_POOL;
+    mcdn_cdn::ThirdPartyCdn::ips_from_prefix(
+        mcdn_netsim::Ipv4Net::parse("69.28.0.0/24").expect("net"),
+        1,
+        ra,
+    )
+}
+
+/// Handover AS of a link from the ISP's viewpoint.
+pub fn handover_of_link(world: &World, link: LinkId) -> AsId {
+    world.topo.link(link).other(params::EYEBALL_AS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdn_geo::{Duration, SimTime};
+
+    fn small_cfg() -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::fast();
+        cfg.traffic_start = SimTime::from_ymd(2017, 9, 18);
+        cfg.traffic_end = SimTime::from_ymd(2017, 9, 21);
+        cfg.traffic_tick = Duration::mins(30);
+        cfg
+    }
+
+    #[test]
+    fn produces_flows_and_snmp() {
+        let cfg = small_cfg();
+        let world = World::build(&cfg);
+        let r = run_isp_traffic(&world, &cfg);
+        assert!(!r.flows.is_empty());
+        assert!(r.snmp.samples().count() > 0);
+        // Every flow's link actually touches the eyeball AS.
+        for (_, link, _) in r.flows.iter().take(500) {
+            assert!(world.topo.link(*link).touches(params::EYEBALL_AS));
+        }
+    }
+
+    #[test]
+    fn event_day_saturates_d_links() {
+        let cfg = small_cfg();
+        let world = World::build(&cfg);
+        let r = run_isp_traffic(&world, &cfg);
+        // At some poll during the event, at least two of the four D links
+        // run at their capacity.
+        let cap_bytes =
+            (params::ISP_D_LINK_BPS * cfg.traffic_tick.as_secs() as f64 / 8.0) as u64;
+        let mut saturated_links = std::collections::HashSet::new();
+        for (t, link, bytes) in r.snmp.samples() {
+            if world.isp_d_links.contains(&link)
+                && t >= params::release()
+                && bytes >= cap_bytes * 95 / 100
+            {
+                saturated_links.insert(link);
+            }
+        }
+        assert!(
+            saturated_links.len() >= 2,
+            "expected ≥2 saturated D links, got {}",
+            saturated_links.len()
+        );
+    }
+
+    #[test]
+    fn d_links_are_quiet_before_release() {
+        let cfg = small_cfg();
+        let world = World::build(&cfg);
+        let r = run_isp_traffic(&world, &cfg);
+        let before: u64 = r
+            .snmp
+            .samples()
+            .filter(|(t, link, _)| *t < params::release() && world.isp_d_links.contains(link))
+            .map(|(_, _, b)| b)
+            .sum();
+        let after: u64 = r
+            .snmp
+            .samples()
+            .filter(|(t, link, _)| *t >= params::release() && world.isp_d_links.contains(link))
+            .map(|(_, _, b)| b)
+            .sum();
+        assert!(after > 100 * before.max(1), "D links light up only with the event");
+    }
+
+    #[test]
+    fn akamai_link_carries_dominant_baseline() {
+        let cfg = small_cfg();
+        let world = World::build(&cfg);
+        let r = run_isp_traffic(&world, &cfg);
+        // On the quiet day, the Akamai direct link carries more than the
+        // Limelight direct link (Akamai is the biggest CDN traffic-wise).
+        let day = SimTime::from_ymd(2017, 9, 18);
+        let next = day + Duration::days(1);
+        let link_to = |asn| {
+            world
+                .topo
+                .links_between(asn, params::EYEBALL_AS)
+                .first()
+                .map(|l| l.id)
+                .expect("direct link")
+        };
+        let ak = r.snmp.sum_range(link_to(params::AKAMAI_AS), day, next);
+        let ll = r.snmp.sum_range(link_to(params::LIMELIGHT_AS), day, next);
+        assert!(ak > 3 * ll, "Akamai {ak} vs Limelight {ll}");
+    }
+}
+
+#[cfg(test)]
+mod link_selection_tests {
+    use super::*;
+    use crate::config::LinkSelection;
+    use mcdn_geo::{Duration, SimTime};
+
+    fn run_with(selection: LinkSelection) -> (World, TrafficResult, ScenarioConfig) {
+        let mut cfg = ScenarioConfig::fast();
+        cfg.traffic_start = SimTime::from_ymd(2017, 9, 19);
+        cfg.traffic_end = SimTime::from_ymd(2017, 9, 21);
+        cfg.traffic_tick = Duration::mins(30);
+        cfg.link_selection = selection;
+        let world = World::build(&cfg);
+        let r = run_isp_traffic(&world, &cfg);
+        (world, r, cfg)
+    }
+
+    /// The load-placement ablation: fill-order concentrates saturation on
+    /// the first links (the paper's "two of four" pattern); ECMP evens the
+    /// group out.
+    #[test]
+    fn ecmp_spreads_where_fill_order_concentrates() {
+        let spread = |selection| {
+            let (world, r, cfg) = run_with(selection);
+            let cap_bytes =
+                (params::ISP_D_LINK_BPS * cfg.traffic_tick.as_secs() as f64 / 8.0) as u64;
+            // Polls each D link spent ≥99% utilized.
+            let polls: Vec<u32> = world
+                .isp_d_links
+                .iter()
+                .map(|id| {
+                    r.snmp
+                        .samples()
+                        .filter(|(_, l, b)| l == id && *b as f64 >= cap_bytes as f64 * 0.99)
+                        .count() as u32
+                })
+                .collect();
+            polls
+        };
+        let fill = spread(LinkSelection::FillOrder);
+        let ecmp = spread(LinkSelection::Ecmp);
+        // Fill-order: strong ordering, first link saturated much longer
+        // than the last.
+        assert!(
+            fill[0] >= fill[3] + 3,
+            "fill order concentrates: {fill:?}"
+        );
+        // ECMP: the saturation spread across the group is much narrower.
+        let range = |v: &Vec<u32>| v.iter().max().unwrap() - v.iter().min().unwrap();
+        assert!(
+            range(&ecmp) < range(&fill),
+            "ECMP must even the group out: ecmp {ecmp:?} vs fill {fill:?}"
+        );
+    }
+}

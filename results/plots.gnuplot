@@ -1,0 +1,40 @@
+# Renders the repro CSVs into paper-figure-like PNGs.
+# Usage: run inside the --csv-dir directory:  gnuplot plots.gnuplot
+set datafile separator ","
+set terminal pngcairo size 1100,500 font ",10"
+set key outside right
+
+# Figure 4: unique IPs, Europe panel.
+set output "fig4_europe.png"
+set title "Unique CDN cache IPs - Europe (cf. paper Fig. 4)"
+set xlabel "hour bin (row index)"
+set ylabel "unique IPs"
+plot for [cdn in "Akamai Limelight Apple"] \
+    "< awk -F, 'NR>1 && $2==\"Europe\" && $3==\"".cdn."\"' fig4_series.csv" \
+    using 0:4 with lines lw 2 title cdn
+
+# Figure 5: ISP view, daily unique IPs per CDN.
+set output "fig5_isp.png"
+set title "Unique CDN cache IPs - Eyeball ISP (cf. paper Fig. 5)"
+plot for [cdn in "Akamai Limelight Apple"] \
+    "< awk -F, 'NR>1 && $2==\"".cdn."\"' fig5_series.csv" \
+    using 0:3 with lines lw 2 title cdn
+
+# Figure 7: traffic ratio per CDN.
+set output "fig7_ratio.png"
+set title "Update traffic ratio vs pre-update peak (cf. paper Fig. 7)"
+set ylabel "ratio %"
+plot for [cdn in "Akamai Limelight Apple"] \
+    "< awk -F, 'NR>1 && $2==\"".cdn."\"' fig7_series.csv" \
+    using 0:3 with lines lw 2 title cdn
+
+# Figure 8: overflow share by handover AS.
+set output "fig8_overflow.png"
+set title "Limelight overflow share by handover AS (cf. paper Fig. 8)"
+set ylabel "share %"
+set style data histograms
+set style histogram rowstacked
+set style fill solid 0.8
+plot for [as in "A B C D other"] \
+    "< awk -F, 'NR>1 && $2==\"".as."\"' fig8_overflow.csv" \
+    using 3:xtic(1) title "AS ".as
