@@ -112,6 +112,8 @@ mod tests {
                 unique_ips: agg,
                 ip_classes: Default::default(),
                 resolutions: 0,
+                attempts: 0,
+                retry_exhausted: 0,
             },
             release,
         )

@@ -64,7 +64,13 @@ mod tests {
         for i in 0..ap20 {
             agg.record(d20, Continent::Europe, CdnClass::Apple, Ipv4Addr::from(0x11FD_0000 + i));
         }
-        DnsCampaignResult { unique_ips: agg, ip_classes: Default::default(), resolutions: 0 }
+        DnsCampaignResult {
+            unique_ips: agg,
+            ip_classes: Default::default(),
+            resolutions: 0,
+            attempts: 0,
+            retry_exhausted: 0,
+        }
     }
 
     #[test]

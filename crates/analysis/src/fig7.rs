@@ -7,7 +7,7 @@
 
 use crate::table::Table;
 use mcdn_geo::{Duration, SimTime};
-use mcdn_isp::estimate::scale_by_snmp;
+use mcdn_isp::estimate::scale_by_snmp_with_coverage;
 use mcdn_scenario::{CdnClass, TrafficResult};
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
@@ -22,7 +22,12 @@ pub fn hourly_by_cdn(
     traffic: &TrafficResult,
     ip_classes: &HashMap<Ipv4Addr, CdnClass>,
 ) -> BTreeMap<(SimTime, CdnClass), f64> {
-    let scaled = scale_by_snmp(&traffic.flows, &traffic.snmp);
+    // The coverage-aware scaler degrades gracefully when SNMP polls
+    // were missed (gapped cells fall back to sampling-rate inversion
+    // instead of silently reading zero); with complete SNMP coverage it
+    // is identical to the plain SNMP scaler.
+    let (scaled, _coverage) =
+        scale_by_snmp_with_coverage(&traffic.flows, &traffic.snmp, traffic.sampling);
     let mut out: BTreeMap<(SimTime, CdnClass), f64> = BTreeMap::new();
     for v in scaled {
         let Some(class) = ip_classes.get(&v.src) else { continue };
@@ -182,7 +187,7 @@ mod tests {
         }
         let mut ip_classes = HashMap::new();
         ip_classes.insert(ll_ip, CdnClass::Limelight);
-        let traffic = TrafficResult { flows, snmp, dropped_bytes: 0, sampling: 1 };
+        let traffic = TrafficResult { flows, snmp, dropped_bytes: 0, sampling: 1, export_losses: 0, polls_missed: 0 };
         (traffic, ip_classes, release)
     }
 

@@ -6,7 +6,7 @@
 
 use crate::table::Table;
 use mcdn_geo::{Duration, SimTime};
-use mcdn_isp::estimate::scale_by_snmp;
+use mcdn_isp::estimate::scale_by_snmp_with_coverage;
 use mcdn_scenario::{params, CdnClass, TrafficResult, World};
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
@@ -32,7 +32,12 @@ pub fn overflow_by_handover(
     ip_classes: &HashMap<Ipv4Addr, CdnClass>,
     world: &World,
 ) -> BTreeMap<(SimTime, &'static str), f64> {
-    let scaled = scale_by_snmp(&traffic.flows, &traffic.snmp);
+    // The coverage-aware scaler degrades gracefully when SNMP polls
+    // were missed (gapped cells fall back to sampling-rate inversion
+    // instead of silently reading zero); with complete SNMP coverage it
+    // is identical to the plain SNMP scaler.
+    let (scaled, _coverage) =
+        scale_by_snmp_with_coverage(&traffic.flows, &traffic.snmp, traffic.sampling);
     let mut out: BTreeMap<(SimTime, &'static str), f64> = BTreeMap::new();
     for v in scaled {
         let Some(class) = ip_classes.get(&v.src) else { continue };
@@ -182,7 +187,7 @@ mod tests {
             ));
         }
         snmp.poll(day);
-        (TrafficResult { flows, snmp, dropped_bytes: 0, sampling: 1 }, ip_classes)
+        (TrafficResult { flows, snmp, dropped_bytes: 0, sampling: 1, export_losses: 0, polls_missed: 0 }, ip_classes)
     }
 
     #[test]

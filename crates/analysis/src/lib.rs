@@ -17,11 +17,13 @@
 //! | [`fig6`] | Figure 6 — offload/overflow taxonomy (worked example) |
 //! | [`fig7`] | Figure 7 — update traffic ratio by source AS |
 //! | [`fig8`] | Figure 8 — overflow share by handover AS |
+//! | [`coverage`] | Data-completeness annotations for fault-injected runs |
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cache_location;
+pub mod coverage;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

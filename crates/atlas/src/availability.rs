@@ -116,4 +116,41 @@ mod tests {
     fn rejects_bad_rate() {
         let _ = Availability::with_rate(1.5, 0);
     }
+
+    #[test]
+    fn rate_zero_means_never_online() {
+        let a = Availability::with_rate(0.0, 3);
+        for id in 0..200u32 {
+            for h in 0..48u64 {
+                assert!(!a.is_online(id, SimTime::from_ymd(2017, 9, 12) + Duration::hours(h)));
+            }
+        }
+        assert_eq!(a.online_fraction(100, SimTime(0)), 0.0);
+    }
+
+    #[test]
+    fn rate_one_means_always_online() {
+        let a = Availability::with_rate(1.0, 99);
+        for id in 0..200u32 {
+            for h in 0..48u64 {
+                assert!(a.is_online(id, SimTime::from_ymd(2017, 9, 12) + Duration::hours(h)));
+            }
+        }
+        assert_eq!(a.online_fraction(100, SimTime(0)), 1.0);
+    }
+
+    #[test]
+    fn empty_fleet_fraction_is_zero() {
+        assert_eq!(Availability::perfect().online_fraction(0, SimTime(0)), 0.0);
+    }
+
+    #[test]
+    fn seeds_give_independent_outage_patterns() {
+        let a = Availability::with_rate(0.5, 1);
+        let b = Availability::with_rate(0.5, 2);
+        let t = SimTime::from_ymd(2017, 9, 19);
+        let differs = (0..500u32).filter(|&id| a.is_online(id, t) != b.is_online(id, t)).count();
+        // Independent 50 % coins disagree about half the time.
+        assert!((150..350).contains(&differs), "only {differs}/500 differ");
+    }
 }

@@ -1,8 +1,11 @@
 //! Measurement probes: located clients with their own caching resolvers.
 
-use mcdn_dnssim::{Namespace, QueryContext, RecursiveResolver, ResolutionError, ResolutionTrace};
+use mcdn_dnssim::{
+    FaultModel, Namespace, QueryContext, RecursiveResolver, ResolutionError, ResolutionTrace,
+};
 use mcdn_dnswire::{Name, RecordType};
-use mcdn_geo::{City, SimTime};
+use mcdn_faults::RetryPolicy;
+use mcdn_geo::{City, Duration, SimTime};
 use mcdn_netsim::AsId;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -60,10 +63,52 @@ impl Probe {
         self.resolver.resolve(ns, qname, qtype, &self.context(now))
     }
 
+    /// Runs one DNS measurement under a fault model, retrying transient
+    /// failures (SERVFAIL, timeout) per `retry` with capped exponential
+    /// backoff. Each retry happens later in simulated time by the
+    /// accumulated backoff, so TTL expiry during backoff behaves
+    /// faithfully. Permanent failures (NXDOMAIN, over-long chains) are
+    /// never retried. Under a quiet fault model the first attempt always
+    /// succeeds, making this bit-identical to [`Probe::measure`].
+    pub fn measure_with(
+        &mut self,
+        ns: &Namespace,
+        qname: &Name,
+        qtype: RecordType,
+        now: SimTime,
+        faults: &dyn FaultModel,
+        retry: &RetryPolicy,
+    ) -> MeasureOutcome {
+        let mut wait = Duration::secs(0);
+        let max = retry.max_attempts.max(1);
+        for attempt in 0..max {
+            wait = wait + retry.backoff_before(attempt);
+            let (trace, result) =
+                self.resolver
+                    .resolve_with(ns, qname, qtype, &self.context(now + wait), faults, attempt);
+            let retryable = matches!(&result, Err(e) if e.is_transient());
+            if !retryable || attempt + 1 == max {
+                return MeasureOutcome { trace, result, attempts: attempt + 1 };
+            }
+        }
+        unreachable!("loop always returns on the last attempt")
+    }
+
     /// Resolver cache statistics `(hits, misses)`.
     pub fn cache_stats(&self) -> (u64, u64) {
         self.resolver.cache_stats()
     }
+}
+
+/// What one fault-aware measurement produced.
+#[derive(Debug, Clone)]
+pub struct MeasureOutcome {
+    /// The trace of the final attempt (even on failure).
+    pub trace: ResolutionTrace,
+    /// The final attempt's outcome.
+    pub result: Result<(), ResolutionError>,
+    /// Attempts spent, including the first (1 when nothing was retried).
+    pub attempts: u32,
 }
 
 /// Builds probes from specs, ids assigned in order.
@@ -145,6 +190,107 @@ mod tests {
         let (_, res) = p.measure(&ns, &name, RecordType::A, t0 + mcdn_geo::Duration::secs(5));
         res.unwrap();
         assert_eq!(p.cache_stats().0, 1);
+    }
+
+    /// Times out the first `failures` attempts of every query, then heals.
+    struct FlakyUpstream {
+        failures: u32,
+    }
+
+    impl FaultModel for FlakyUpstream {
+        fn upstream_fault(
+            &self,
+            _zone: &Name,
+            _qname: &Name,
+            _ctx: &QueryContext,
+            attempt: u32,
+        ) -> Option<mcdn_dnssim::UpstreamFault> {
+            (attempt < self.failures).then_some(mcdn_dnssim::UpstreamFault::Timeout)
+        }
+    }
+
+    fn probe() -> Probe {
+        Probe::new(
+            0,
+            ProbeSpec { city: city("deber"), as_id: AsId(1), ip: Ipv4Addr::new(10, 0, 0, 1) },
+        )
+    }
+
+    #[test]
+    fn retries_recover_from_transient_faults() {
+        let ns = tiny_ns();
+        let mut p = probe();
+        let name = Name::parse("appldnld.apple.com").unwrap();
+        let retry = RetryPolicy::standard();
+        let out = p.measure_with(
+            &ns,
+            &name,
+            RecordType::A,
+            SimTime::from_ymd(2017, 9, 12),
+            &FlakyUpstream { failures: 2 },
+            &retry,
+        );
+        out.result.unwrap();
+        assert_eq!(out.attempts, 3);
+        assert_eq!(out.trace.addresses(), vec![Ipv4Addr::new(17, 253, 1, 1)]);
+    }
+
+    #[test]
+    fn retry_budget_exhausts_on_persistent_faults() {
+        let ns = tiny_ns();
+        let mut p = probe();
+        let name = Name::parse("appldnld.apple.com").unwrap();
+        let retry = RetryPolicy::standard();
+        let out = p.measure_with(
+            &ns,
+            &name,
+            RecordType::A,
+            SimTime::from_ymd(2017, 9, 12),
+            &FlakyUpstream { failures: u32::MAX },
+            &retry,
+        );
+        assert_eq!(out.attempts, retry.max_attempts);
+        assert!(matches!(out.result, Err(ResolutionError::Timeout(_))));
+        // The failed attempt's trace still records what the probe saw.
+        assert_eq!(out.trace.steps.len(), 1);
+    }
+
+    #[test]
+    fn permanent_failures_are_not_retried() {
+        let ns = tiny_ns();
+        let mut p = probe();
+        let name = Name::parse("no.such.name.example").unwrap();
+        let out = p.measure_with(
+            &ns,
+            &name,
+            RecordType::A,
+            SimTime::from_ymd(2017, 9, 12),
+            &mcdn_dnssim::NoFaults,
+            &RetryPolicy::standard(),
+        );
+        assert_eq!(out.attempts, 1);
+        assert!(matches!(out.result, Err(ResolutionError::NxDomain(_))));
+    }
+
+    #[test]
+    fn quiet_faults_match_plain_measure() {
+        let ns = tiny_ns();
+        let name = Name::parse("appldnld.apple.com").unwrap();
+        let t0 = SimTime::from_ymd(2017, 9, 12);
+        let mut a = probe();
+        let mut b = probe();
+        let (trace_plain, res_plain) = a.measure(&ns, &name, RecordType::A, t0);
+        let out = b.measure_with(
+            &ns,
+            &name,
+            RecordType::A,
+            t0,
+            &mcdn_dnssim::NoFaults,
+            &RetryPolicy::standard(),
+        );
+        assert_eq!(out.attempts, 1);
+        assert_eq!(trace_plain, out.trace);
+        assert_eq!(res_plain, out.result);
     }
 
     #[test]

@@ -165,9 +165,9 @@ impl GslbDirectory {
             return Vec::new();
         }
         let client_hash = fnv64(&client_ip.octets());
-        let pick = if ranked.len() > 1 && client_hash % 4 == 0 { ranked[1].1 } else { ranked[0].1 };
+        let pick = if ranked.len() > 1 && client_hash.is_multiple_of(4) { ranked[1].1 } else { ranked[0].1 };
         let vips = &self.sites[pick].1;
-        let rot = (client_hash ^ (now.as_secs() / GSLB_ROTATION.as_secs()) as u64) as usize;
+        let rot = (client_hash ^ (now.as_secs() / GSLB_ROTATION.as_secs())) as usize;
         let k = 2.min(vips.len());
         (0..k).map(|j| vips[(rot + j) % vips.len()]).collect()
     }

@@ -189,7 +189,7 @@ impl MetaCdnState {
         apple_util.sort_by_key(|(r, _)| *r);
         let mut cdn_load: Vec<_> =
             inner.cdn_load.iter().map(|((k, r), l)| (*k, *r, *l)).collect();
-        cdn_load.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        cdn_load.sort_by_key(|a| (a.0, a.1));
         let a1015_active = Region::ALL
             .into_iter()
             .filter(|r| {

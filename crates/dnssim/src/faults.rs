@@ -1,0 +1,60 @@
+//! Upstream fault hooks for the recursive resolver.
+//!
+//! Real recursive resolution fails in ways the clean simulator never shows:
+//! an authoritative server times out, SERVFAILs under load, or serves a
+//! lame delegation. [`FaultModel`] is the resolver's injection point for
+//! those conditions — [`crate::RecursiveResolver::resolve_with`] consults
+//! it before every *upstream* query (cache hits are never faulted, which is
+//! exactly how caches mask authoritative outages in the real DNS).
+//!
+//! This crate only defines the hook; concrete deterministic fault sources
+//! (hash-based loss rates, load-coupled SERVFAIL, lame windows) live in
+//! `mcdn-faults` and are adapted to this trait by the campaign layer.
+
+use crate::context::QueryContext;
+use mcdn_dnswire::Name;
+
+/// A transient failure of one upstream query to an authoritative zone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpstreamFault {
+    /// The zone answered SERVFAIL.
+    ServFail,
+    /// The query or answer was lost; the resolver gives up on this attempt
+    /// after its timeout.
+    Timeout,
+}
+
+/// Decides whether one upstream query suffers a transient fault.
+///
+/// Implementations must be pure functions of their inputs (plus any frozen
+/// configuration) so that campaigns stay reproducible.
+pub trait FaultModel {
+    /// The fault, if any, for querying `qname` at the zone rooted at
+    /// `zone` during retry number `attempt` (0 = first try) in context
+    /// `ctx`.
+    fn upstream_fault(
+        &self,
+        zone: &Name,
+        qname: &Name,
+        ctx: &QueryContext,
+        attempt: u32,
+    ) -> Option<UpstreamFault>;
+}
+
+/// The trivial fault model: never faults. [`crate::RecursiveResolver::resolve`]
+/// uses this, so fault-unaware callers are bit-identical to the pre-fault
+/// resolver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultModel for NoFaults {
+    fn upstream_fault(
+        &self,
+        _zone: &Name,
+        _qname: &Name,
+        _ctx: &QueryContext,
+        _attempt: u32,
+    ) -> Option<UpstreamFault> {
+        None
+    }
+}

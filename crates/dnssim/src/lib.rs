@@ -33,6 +33,7 @@
 
 pub mod cache;
 pub mod context;
+pub mod faults;
 pub mod iterative;
 pub mod resolver;
 pub mod wire;
@@ -40,6 +41,7 @@ pub mod zone;
 
 pub use cache::Cache;
 pub use context::QueryContext;
+pub use faults::{FaultModel, NoFaults, UpstreamFault};
 pub use iterative::{IterativeResolver, IterativeOutcome};
 pub use resolver::{RecursiveResolver, ResolutionError, ResolutionTrace, TraceStep};
 pub use wire::serve;

@@ -2,6 +2,7 @@
 
 use crate::cache::Cache;
 use crate::context::QueryContext;
+use crate::faults::{FaultModel, NoFaults, UpstreamFault};
 use crate::zone::{Namespace, ZoneAnswer};
 use mcdn_dnswire::{Name, RData, RecordType, ResourceRecord};
 use std::net::Ipv4Addr;
@@ -77,6 +78,22 @@ pub enum ResolutionError {
     NxDomain(Name),
     /// The CNAME chain exceeded [`MAX_CHAIN`] hops.
     ChainTooLong,
+    /// An authoritative zone answered SERVFAIL while resolving this name
+    /// (injected via a [`crate::faults::FaultModel`]; transient —
+    /// retryable).
+    ServFail(Name),
+    /// An upstream query for this name timed out (injected via a
+    /// [`crate::faults::FaultModel`]; transient — retryable).
+    Timeout(Name),
+}
+
+impl ResolutionError {
+    /// Whether this failure is transient, i.e. a retry may succeed.
+    /// NXDOMAIN and over-long chains are authoritative facts; SERVFAIL and
+    /// timeouts are weather.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ResolutionError::ServFail(_) | ResolutionError::Timeout(_))
+    }
 }
 
 impl core::fmt::Display for ResolutionError {
@@ -84,6 +101,8 @@ impl core::fmt::Display for ResolutionError {
         match self {
             ResolutionError::NxDomain(n) => write!(f, "NXDOMAIN for {n}"),
             ResolutionError::ChainTooLong => write!(f, "CNAME chain too long"),
+            ResolutionError::ServFail(n) => write!(f, "SERVFAIL while resolving {n}"),
+            ResolutionError::Timeout(n) => write!(f, "upstream timeout while resolving {n}"),
         }
     }
 }
@@ -104,7 +123,8 @@ impl RecursiveResolver {
 
     /// Resolves `qname`/`qtype` against `ns`, chasing CNAMEs, consulting and
     /// filling the cache. Returns the trace even on failure (callers log
-    /// what the probe saw before the error).
+    /// what the probe saw before the error). Equivalent to
+    /// [`RecursiveResolver::resolve_with`] under [`NoFaults`].
     pub fn resolve(
         &mut self,
         ns: &Namespace,
@@ -112,32 +132,71 @@ impl RecursiveResolver {
         qtype: RecordType,
         ctx: &QueryContext,
     ) -> (ResolutionTrace, Result<(), ResolutionError>) {
+        self.resolve_with(ns, qname, qtype, ctx, &NoFaults, 0)
+    }
+
+    /// Like [`RecursiveResolver::resolve`], but consults `faults` before
+    /// every upstream query (cache hits are never faulted — caches mask
+    /// authoritative outages, as in the real DNS). `attempt` is the
+    /// caller's 0-based retry counter, passed through so the fault model
+    /// can redraw per attempt. A faulted step is recorded in the trace
+    /// with no records before the error is returned.
+    pub fn resolve_with(
+        &mut self,
+        ns: &Namespace,
+        qname: &Name,
+        qtype: RecordType,
+        ctx: &QueryContext,
+        faults: &dyn FaultModel,
+        attempt: u32,
+    ) -> (ResolutionTrace, Result<(), ResolutionError>) {
         let mut trace = ResolutionTrace::default();
         let mut current = qname.clone();
         for _ in 0..MAX_CHAIN {
             // Cache first.
             let (records, from_cache, zone) = match self.cache.get(&current, qtype, ctx.now) {
                 Some(cached) => (cached, true, None),
-                None => match ns.query(&current, qtype, ctx) {
-                    (ZoneAnswer::Records(rrs), zone) => {
-                        self.cache.put(current.clone(), qtype, rrs.clone(), ctx.now);
-                        (rrs, false, zone.cloned())
-                    }
-                    (ZoneAnswer::NoData, zone) => {
-                        self.cache.put(current.clone(), qtype, Vec::new(), ctx.now);
-                        (Vec::new(), false, zone.cloned())
-                    }
-                    (ZoneAnswer::NxDomain, _) => {
+                None => {
+                    let faulted = ns.authority_for(&current).and_then(|z| {
+                        faults
+                            .upstream_fault(z.origin(), &current, ctx, attempt)
+                            .map(|f| (f, z.origin().clone()))
+                    });
+                    if let Some((fault, origin)) = faulted {
                         trace.steps.push(TraceStep {
                             qname: current.clone(),
                             qtype,
                             records: Vec::new(),
                             from_cache: false,
-                            zone: None,
+                            zone: Some(origin),
                         });
-                        return (trace, Err(ResolutionError::NxDomain(current)));
+                        let err = match fault {
+                            UpstreamFault::ServFail => ResolutionError::ServFail(current),
+                            UpstreamFault::Timeout => ResolutionError::Timeout(current),
+                        };
+                        return (trace, Err(err));
                     }
-                },
+                    match ns.query(&current, qtype, ctx) {
+                        (ZoneAnswer::Records(rrs), zone) => {
+                            self.cache.put(current.clone(), qtype, rrs.clone(), ctx.now);
+                            (rrs, false, zone.cloned())
+                        }
+                        (ZoneAnswer::NoData, zone) => {
+                            self.cache.put(current.clone(), qtype, Vec::new(), ctx.now);
+                            (Vec::new(), false, zone.cloned())
+                        }
+                        (ZoneAnswer::NxDomain, _) => {
+                            trace.steps.push(TraceStep {
+                                qname: current.clone(),
+                                qtype,
+                                records: Vec::new(),
+                                from_cache: false,
+                                zone: None,
+                            });
+                            return (trace, Err(ResolutionError::NxDomain(current)));
+                        }
+                    }
+                }
             };
             let next = records.iter().find_map(|rr| match &rr.rdata {
                 RData::Cname(target) if qtype != RecordType::Cname => Some(target.clone()),
@@ -270,6 +329,92 @@ mod tests {
         res.unwrap();
         // The chain is followed, but no AAAA exists at the end.
         assert!(trace.addresses().is_empty());
+    }
+
+    /// Faults every upstream query to one zone (cache hits unaffected).
+    struct ZoneDown {
+        origin: Name,
+        fault: UpstreamFault,
+    }
+
+    impl FaultModel for ZoneDown {
+        fn upstream_fault(
+            &self,
+            zone: &Name,
+            _qname: &Name,
+            _ctx: &QueryContext,
+            _attempt: u32,
+        ) -> Option<UpstreamFault> {
+            (*zone == self.origin).then_some(self.fault)
+        }
+    }
+
+    #[test]
+    fn servfail_zone_fails_resolution_with_trace() {
+        let ns = namespace();
+        let mut r = RecursiveResolver::new();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        let down = ZoneDown { origin: n("akadns.net"), fault: UpstreamFault::ServFail };
+        let (trace, res) =
+            r.resolve_with(&ns, &n("appldnld.apple.com"), RecordType::A, &ctx_at(t0), &down, 0);
+        assert_eq!(
+            res,
+            Err(ResolutionError::ServFail(n("appldnld.apple.com.akadns.net")))
+        );
+        assert!(res.unwrap_err().is_transient());
+        // The apple.com hop succeeded before the faulted akadns hop.
+        assert_eq!(trace.steps.len(), 2);
+        assert_eq!(trace.steps[1].zone, Some(n("akadns.net")));
+        assert!(trace.steps[1].records.is_empty());
+    }
+
+    #[test]
+    fn timeouts_are_transient_and_nxdomain_is_not() {
+        let ns = namespace();
+        let mut r = RecursiveResolver::new();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        let down = ZoneDown { origin: n("apple.com"), fault: UpstreamFault::Timeout };
+        let (_, res) =
+            r.resolve_with(&ns, &n("appldnld.apple.com"), RecordType::A, &ctx_at(t0), &down, 0);
+        let err = res.unwrap_err();
+        assert_eq!(err, ResolutionError::Timeout(n("appldnld.apple.com")));
+        assert!(err.is_transient());
+        assert!(!ResolutionError::NxDomain(n("x.y")).is_transient());
+        assert!(!ResolutionError::ChainTooLong.is_transient());
+    }
+
+    #[test]
+    fn cached_chain_survives_total_zone_outage() {
+        // A warm cache masks an authoritative outage until TTLs expire —
+        // the graceful-degradation property real resolvers provide.
+        let ns = namespace();
+        let mut r = RecursiveResolver::new();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        let (_, res) = r.resolve(&ns, &n("appldnld.apple.com"), RecordType::A, &ctx_at(t0));
+        res.unwrap();
+        let down = ZoneDown { origin: n("akadns.net"), fault: UpstreamFault::ServFail };
+        // 10 s later every hop is still cached: resolution succeeds even
+        // though akadns.net is down.
+        let (trace, res) = r.resolve_with(
+            &ns,
+            &n("appldnld.apple.com"),
+            RecordType::A,
+            &ctx_at(t0 + Duration::secs(10)),
+            &down,
+            0,
+        );
+        res.unwrap();
+        assert!(!trace.addresses().is_empty());
+        // After the akadns TTL (120 s) expires, the outage becomes visible.
+        let (_, res) = r.resolve_with(
+            &ns,
+            &n("appldnld.apple.com"),
+            RecordType::A,
+            &ctx_at(t0 + Duration::secs(300)),
+            &down,
+            0,
+        );
+        assert!(matches!(res, Err(ResolutionError::ServFail(_))));
     }
 
     #[test]

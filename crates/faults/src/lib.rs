@@ -1,0 +1,470 @@
+//! Deterministic fault injection for the measurement plane.
+//!
+//! Real measurement campaigns do not observe a clean world: RIPE Atlas
+//! probes lose queries, authoritative zones SERVFAIL under load or go lame
+//! for hours, NetFlow exporters drop records on top of packet sampling, and
+//! SNMP pollers miss 5-minute cycles. The paper's vantage points all suffer
+//! these artifacts, so the reproduction needs a way to subject its synthetic
+//! measurement plane to the same imperfections — *reproducibly*.
+//!
+//! This crate provides that layer:
+//!
+//! * [`FaultProfile`] — a bundle of fault-rate knobs whose per-event
+//!   decisions are pure functions of `(profile seed, event key, time)`,
+//!   evaluated by hashing. No RNG state is threaded anywhere, so two runs
+//!   with the same seed produce bit-identical fault patterns, and a
+//!   zero-rate profile ([`FaultProfile::none`]) is exactly a no-op.
+//! * [`QueryFault`] — the transient outcomes an upstream DNS query can
+//!   suffer (SERVFAIL or timeout).
+//! * [`RetryPolicy`] — capped exponential backoff for probe-side retries.
+//! * [`coverage`] — helpers to quantify and repair gaps in telemetry
+//!   series (interpolation with explicit "this bin was filled" flags).
+//!
+//! The crate is deliberately free of simulator dependencies (only
+//! `mcdn-geo` for the time axis): callers adapt a profile to their own
+//! domain by hashing whatever identifies an event (zone name, probe id,
+//! link id) into the `u64` keys these APIs take.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use mcdn_geo::time::{Duration, SimTime};
+
+pub mod coverage;
+
+/// FNV-1a over a byte slice — the workspace-standard pure hash for
+/// deterministic decisions (same construction as probe availability).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// One SplitMix64 step — used to decorrelate hash streams drawn from the
+/// same key material for different decisions.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Folds a list of 64-bit words into one well-mixed decision hash.
+fn hash_words(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &w in words {
+        h = mix(h ^ w);
+    }
+    h
+}
+
+/// Maps a hash to the unit interval `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A transient fault injected into one upstream DNS query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryFault {
+    /// The authoritative server answered SERVFAIL (overload, lame
+    /// delegation, or a baseline server-side failure).
+    ServFail,
+    /// The query or its response was lost, or the answer arrived too late
+    /// to be useful — the client sees a timeout either way.
+    Timeout,
+}
+
+/// A deterministic bundle of measurement-plane fault rates.
+///
+/// Every decision method is a pure function of the profile, its `seed`, and
+/// the caller-supplied event keys — no mutable state, no wall clock. The
+/// all-zero profile ([`FaultProfile::none`]) answers "no fault" to every
+/// question, making fault-aware code paths bit-identical to fault-free
+/// ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Seed decorrelating this profile's decisions from other profiles
+    /// with the same rates.
+    pub seed: u64,
+    /// Probability that a single upstream DNS query (or its answer) is
+    /// lost in transit, observed as a timeout. Per attempt, so retries
+    /// redraw independently.
+    pub query_loss: f64,
+    /// Baseline probability of SERVFAIL from an authoritative zone,
+    /// independent of load.
+    pub servfail_floor: f64,
+    /// Additional SERVFAIL probability per unit of authoritative-zone
+    /// load: an overloaded zone at load `l` fails with probability
+    /// `servfail_floor + servfail_per_load * l` (clamped to `[0, 1]`).
+    pub servfail_per_load: f64,
+    /// Mean hours between lame-delegation windows per zone (0 disables
+    /// lame windows entirely).
+    pub lame_every_hours: u32,
+    /// Length of one lame-delegation window, in hours. While a zone is
+    /// lame, every query to it SERVFAILs.
+    pub lame_hours: u32,
+    /// Median simulated upstream query latency in milliseconds. Purely
+    /// informational unless `slow_timeout_ms` is set.
+    pub latency_median_ms: f64,
+    /// Latency tail heaviness: the 99th-percentile latency is roughly
+    /// `latency_median_ms * latency_tail`. Values `<= 1` mean no tail.
+    pub latency_tail: f64,
+    /// Queries whose drawn latency exceeds this many milliseconds count as
+    /// timeouts (0 disables latency-induced timeouts).
+    pub slow_timeout_ms: f64,
+    /// Probability that a sampled NetFlow record is lost between exporter
+    /// and collector (on top of packet sampling).
+    pub netflow_export_loss: f64,
+    /// Probability that a link misses one 5-minute SNMP poll cycle.
+    pub snmp_gap: f64,
+}
+
+impl FaultProfile {
+    /// The fault-free profile: every decision method returns "no fault",
+    /// so campaigns run exactly as they would without the fault layer.
+    pub const fn none() -> FaultProfile {
+        FaultProfile {
+            seed: 0,
+            query_loss: 0.0,
+            servfail_floor: 0.0,
+            servfail_per_load: 0.0,
+            lame_every_hours: 0,
+            lame_hours: 0,
+            latency_median_ms: 0.0,
+            latency_tail: 0.0,
+            slow_timeout_ms: 0.0,
+            netflow_export_loss: 0.0,
+            snmp_gap: 0.0,
+        }
+    }
+
+    /// A moderately hostile profile representative of real campaign
+    /// conditions: ~1 % query loss, load-sensitive SERVFAILs, occasional
+    /// multi-hour lame windows, a heavy latency tail with a 5 s timeout,
+    /// 2 % NetFlow export loss, and 3 % SNMP poll gaps.
+    pub const fn realistic(seed: u64) -> FaultProfile {
+        FaultProfile {
+            seed,
+            query_loss: 0.01,
+            servfail_floor: 0.002,
+            servfail_per_load: 0.04,
+            lame_every_hours: 96,
+            lame_hours: 2,
+            latency_median_ms: 35.0,
+            latency_tail: 40.0,
+            slow_timeout_ms: 5_000.0,
+            netflow_export_loss: 0.02,
+            snmp_gap: 0.03,
+        }
+    }
+
+    /// Returns this profile with a different decision seed — used to give
+    /// independent fault patterns to e.g. the global and ISP campaigns.
+    pub const fn with_seed(mut self, seed: u64) -> FaultProfile {
+        self.seed = seed;
+        self
+    }
+
+    /// True when every rate is zero, i.e. no decision method can ever
+    /// report a fault.
+    pub fn is_quiet(&self) -> bool {
+        self.query_loss <= 0.0
+            && self.servfail_floor <= 0.0
+            && self.servfail_per_load <= 0.0
+            && (self.lame_every_hours == 0 || self.lame_hours == 0)
+            && (self.slow_timeout_ms <= 0.0 || self.latency_median_ms <= 0.0)
+            && self.netflow_export_loss <= 0.0
+            && self.snmp_gap <= 0.0
+    }
+
+    /// Whether `zone_key`'s zone is inside a lame-delegation window at
+    /// `now`. Windows are `lame_hours` long, occur on average every
+    /// `lame_every_hours`, and are placed pseudo-randomly per zone so
+    /// different zones go lame at different times.
+    pub fn zone_is_lame(&self, zone_key: u64, now: SimTime) -> bool {
+        if self.lame_every_hours == 0 || self.lame_hours == 0 {
+            return false;
+        }
+        let span = self.lame_hours.max(1) as u64;
+        let cycles = (self.lame_every_hours as u64 / span).max(1);
+        let window = now.0 / 3600 / span;
+        hash_words(&[self.seed, zone_key, window, 0x1a3e]).is_multiple_of(cycles)
+    }
+
+    /// The fault, if any, suffered by one upstream query.
+    ///
+    /// * `zone_key` — hash identifying the authoritative zone asked.
+    /// * `query_key` — hash identifying the querying client and name.
+    /// * `attempt` — 0-based retry counter; retries redraw independently.
+    /// * `now` — campaign time of the query.
+    /// * `zone_load` — the zone operator's current load (0 = idle); scales
+    ///   the SERVFAIL probability by `servfail_per_load`.
+    pub fn upstream_fault(
+        &self,
+        zone_key: u64,
+        query_key: u64,
+        attempt: u32,
+        now: SimTime,
+        zone_load: f64,
+    ) -> Option<QueryFault> {
+        if self.zone_is_lame(zone_key, now) {
+            return Some(QueryFault::ServFail);
+        }
+        let base = [self.seed, zone_key, query_key, now.0, attempt as u64];
+        if self.query_loss > 0.0 {
+            let h = hash_words(&[base[0], base[1], base[2], base[3], base[4], 0x105e]);
+            if unit(h) < self.query_loss {
+                return Some(QueryFault::Timeout);
+            }
+        }
+        if self.slow_timeout_ms > 0.0
+            && self.query_latency_ms(zone_key, query_key, attempt, now) > self.slow_timeout_ms
+        {
+            return Some(QueryFault::Timeout);
+        }
+        let p_servfail =
+            (self.servfail_floor + self.servfail_per_load * zone_load.max(0.0)).clamp(0.0, 1.0);
+        if p_servfail > 0.0 {
+            let h = hash_words(&[base[0], base[1], base[2], base[3], base[4], 0x5efa]);
+            if unit(h) < p_servfail {
+                return Some(QueryFault::ServFail);
+            }
+        }
+        None
+    }
+
+    /// A deterministic latency draw (milliseconds) for one upstream query,
+    /// Pareto-shaped so that the median is `latency_median_ms` and the
+    /// 99th percentile is roughly `latency_median_ms * latency_tail`.
+    pub fn query_latency_ms(
+        &self,
+        zone_key: u64,
+        query_key: u64,
+        attempt: u32,
+        now: SimTime,
+    ) -> f64 {
+        if self.latency_median_ms <= 0.0 {
+            return 0.0;
+        }
+        let h = hash_words(&[self.seed, zone_key, query_key, now.0, attempt as u64, 0x1a7e]);
+        let u = unit(h);
+        let tail = self.latency_tail.max(1.0);
+        // latency = median * (2(1-u))^(-alpha): u=0.5 gives the median,
+        // u=0.99 gives median * 50^alpha = median * tail.
+        let alpha = tail.ln() / 50.0_f64.ln();
+        self.latency_median_ms * (2.0 * (1.0 - u).max(1e-12)).powf(-alpha)
+    }
+
+    /// Whether one sampled NetFlow record is lost on export.
+    pub fn netflow_export_lost(&self, link_key: u64, flow_key: u64, now: SimTime) -> bool {
+        if self.netflow_export_loss <= 0.0 {
+            return false;
+        }
+        let h = hash_words(&[self.seed, link_key, flow_key, now.0, 0xf10e]);
+        unit(h) < self.netflow_export_loss
+    }
+
+    /// Whether `link_key`'s SNMP counter misses the poll cycle at `now`.
+    ///
+    /// Counters themselves stay monotonic; a missed poll only means the
+    /// collector records no sample for that 5-minute bin, so the next
+    /// successful poll's delta covers the gap.
+    pub fn snmp_poll_missed(&self, link_key: u64, now: SimTime) -> bool {
+        if self.snmp_gap <= 0.0 {
+            return false;
+        }
+        let h = hash_words(&[self.seed, link_key, now.0, 0x50ff]);
+        unit(h) < self.snmp_gap
+    }
+}
+
+impl Default for FaultProfile {
+    fn default() -> FaultProfile {
+        FaultProfile::none()
+    }
+}
+
+/// Probe-side retry schedule: capped exponential backoff between attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per measurement, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Wait before the first retry; doubles each further retry.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff wait.
+    pub backoff_cap: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, zero backoff.
+    pub const fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base: Duration::secs(0),
+            backoff_cap: Duration::secs(0),
+        }
+    }
+
+    /// The campaign default: up to 3 attempts, backing off 2 s then 4 s,
+    /// capped at 30 s.
+    pub const fn standard() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base: Duration::secs(2),
+            backoff_cap: Duration::secs(30),
+        }
+    }
+
+    /// The wait before attempt number `attempt` (1-based retry index:
+    /// attempt 0 is the initial try and never waits). Exponential in the
+    /// retry index and capped at `backoff_cap`.
+    pub fn backoff_before(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::secs(0);
+        }
+        let shift = (attempt - 1).min(32);
+        let raw = self.backoff_base.as_secs().saturating_mul(1u64 << shift);
+        Duration::secs(raw.min(self.backoff_cap.as_secs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_profile_never_faults() {
+        let p = FaultProfile::none();
+        assert!(p.is_quiet());
+        for i in 0..2_000u64 {
+            let t = SimTime(i * 311);
+            assert!(p.upstream_fault(i, i ^ 0xabc, (i % 5) as u32, t, 3.0).is_none());
+            assert!(!p.netflow_export_lost(i, i ^ 1, t));
+            assert!(!p.snmp_poll_missed(i, t));
+            assert!(!p.zone_is_lame(i, t));
+        }
+    }
+
+    #[test]
+    fn decisions_are_reproducible() {
+        let a = FaultProfile::realistic(77);
+        let b = FaultProfile::realistic(77);
+        for i in 0..500u64 {
+            let t = SimTime(1_500_000_000 + i * 60);
+            assert_eq!(
+                a.upstream_fault(i, i * 3, 1, t, 0.5),
+                b.upstream_fault(i, i * 3, 1, t, 0.5)
+            );
+            assert_eq!(a.snmp_poll_missed(i, t), b.snmp_poll_missed(i, t));
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate_fault_patterns() {
+        let a = FaultProfile::realistic(1).with_seed(1);
+        let b = FaultProfile::realistic(1).with_seed(2);
+        let mut differs = false;
+        for i in 0..4_000u64 {
+            let t = SimTime(1_500_000_000 + i * 60);
+            if a.netflow_export_lost(7, i, t) != b.netflow_export_lost(7, i, t) {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs, "different seeds must give different fault patterns");
+    }
+
+    #[test]
+    fn query_loss_rate_is_respected() {
+        let p = FaultProfile { query_loss: 0.2, ..FaultProfile::none() }.with_seed(5);
+        let trials = 20_000u64;
+        let timeouts = (0..trials)
+            .filter(|&i| {
+                matches!(
+                    p.upstream_fault(3, i, 0, SimTime(1_505_000_000), 0.0),
+                    Some(QueryFault::Timeout)
+                )
+            })
+            .count();
+        let rate = timeouts as f64 / trials as f64;
+        assert!((0.18..0.22).contains(&rate), "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn servfail_scales_with_zone_load() {
+        let p = FaultProfile {
+            servfail_floor: 0.01,
+            servfail_per_load: 0.2,
+            ..FaultProfile::none()
+        }
+        .with_seed(9);
+        let count = |load: f64| {
+            (0..10_000u64)
+                .filter(|&i| p.upstream_fault(11, i, 0, SimTime(1_505_000_000), load).is_some())
+                .count()
+        };
+        let idle = count(0.0);
+        let busy = count(2.0);
+        assert!(busy > idle * 5, "overload must raise SERVFAILs ({idle} -> {busy})");
+    }
+
+    #[test]
+    fn lame_windows_cover_expected_fraction() {
+        let p = FaultProfile {
+            lame_every_hours: 48,
+            lame_hours: 2,
+            ..FaultProfile::none()
+        }
+        .with_seed(3);
+        let hours = 24 * 365;
+        let lame = (0..hours).filter(|&h| p.zone_is_lame(42, SimTime(h * 3600))).count();
+        let frac = lame as f64 / hours as f64;
+        // Expect roughly lame_hours / lame_every_hours = ~4.2 % of hours.
+        assert!((0.01..0.10).contains(&frac), "lame fraction {frac}");
+        // And windows last at least lame_hours in a row somewhere.
+        let mut run = 0;
+        let mut best = 0;
+        for h in 0..hours {
+            if p.zone_is_lame(42, SimTime(h * 3600)) {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(best >= 2, "windows should span {}+ hours, saw {best}", 2);
+    }
+
+    #[test]
+    fn latency_median_and_tail_are_shaped() {
+        let p = FaultProfile {
+            latency_median_ms: 30.0,
+            latency_tail: 40.0,
+            ..FaultProfile::none()
+        }
+        .with_seed(13);
+        let mut draws: Vec<f64> = (0..8_000u64)
+            .map(|i| p.query_latency_ms(1, i, 0, SimTime(1_505_000_000)))
+            .collect();
+        draws.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p50 = draws[draws.len() / 2];
+        let p99 = draws[draws.len() * 99 / 100];
+        assert!((20.0..45.0).contains(&p50), "p50 {p50}");
+        assert!(p99 > 300.0, "p99 {p99} should be deep in the tail");
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let r = RetryPolicy::standard();
+        assert_eq!(r.backoff_before(0), Duration::secs(0));
+        assert_eq!(r.backoff_before(1), Duration::secs(2));
+        assert_eq!(r.backoff_before(2), Duration::secs(4));
+        assert_eq!(r.backoff_before(3), Duration::secs(8));
+        assert_eq!(r.backoff_before(10), Duration::secs(30));
+        assert_eq!(r.backoff_before(63), Duration::secs(30));
+        assert_eq!(RetryPolicy::none().backoff_before(1), Duration::secs(0));
+    }
+}

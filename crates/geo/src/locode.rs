@@ -151,7 +151,7 @@ static CITIES: &[City] = &[
     city!("Mumbai", b"inbom", 19.08, 72.88, Asia),
     city!("Delhi", b"indel", 28.70, 77.10, Asia),
     city!("Bangkok", b"thbkk", 13.76, 100.50, Asia),
-    city!("Kuala Lumpur", b"mykul", 3.14, 101.69, Asia),
+    city!("Kuala Lumpur", b"mykul", 3.139, 101.69, Asia),
     city!("Jakarta", b"idjkt", -6.21, 106.85, Asia),
     city!("Dubai", b"aedxb", 25.20, 55.27, Asia),
     city!("Tel Aviv", b"ilvlv", 32.09, 34.78, Asia),

@@ -142,6 +142,13 @@ impl Add<Duration> for SimTime {
     }
 }
 
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
 impl AddAssign<Duration> for SimTime {
     fn add_assign(&mut self, rhs: Duration) {
         self.0 += rhs.0;

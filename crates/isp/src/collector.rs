@@ -76,20 +76,17 @@ impl Collector {
     pub fn ingest(&mut self, bytes: &[u8]) -> Result<(), NetflowError> {
         let pkt = ExportPacket::decode(bytes)?;
         self.packets += 1;
-        match self.expected_next {
-            Some(expected) => {
-                let gap = pkt.flow_sequence.wrapping_sub(expected);
-                if gap == 0 {
-                    // In order.
-                } else if gap < u32::MAX / 2 {
-                    // Forward jump: `gap` records were lost.
-                    self.lost_records += gap as u64;
-                } else {
-                    // Sequence went backwards: late/duplicate packet.
-                    self.out_of_order += 1;
-                }
+        if let Some(expected) = self.expected_next {
+            let gap = pkt.flow_sequence.wrapping_sub(expected);
+            if gap == 0 {
+                // In order.
+            } else if gap < u32::MAX / 2 {
+                // Forward jump: `gap` records were lost.
+                self.lost_records += gap as u64;
+            } else {
+                // Sequence went backwards: late/duplicate packet.
+                self.out_of_order += 1;
             }
-            None => {}
         }
         let next = pkt.flow_sequence.wrapping_add(pkt.records.len() as u32);
         // Track the furthest point seen.

@@ -63,6 +63,84 @@ pub fn scale_by_snmp(
     out
 }
 
+/// How many (bin, link) cells the SNMP-scaling pass could actually scale.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScalingCoverage {
+    /// Cells with both Netflow records and an SNMP poll sample.
+    pub covered_cells: usize,
+    /// Cells whose SNMP poll was missed; their volumes fall back to
+    /// sampling-rate inversion.
+    pub gapped_cells: usize,
+    /// The gapped cells themselves, time-ordered.
+    pub gapped: Vec<(SimTime, LinkId)>,
+}
+
+impl ScalingCoverage {
+    /// Fraction of cells scaled against real SNMP data, in `[0, 1]`; no
+    /// cells counts as full coverage.
+    pub fn fraction(&self) -> f64 {
+        let total = self.covered_cells + self.gapped_cells;
+        if total == 0 {
+            1.0
+        } else {
+            self.covered_cells as f64 / total as f64
+        }
+    }
+}
+
+/// Like [`scale_by_snmp`], but degrades gracefully when SNMP polls were
+/// missed instead of silently zeroing those cells.
+///
+/// For a cell with a real poll sample, volumes are scaled exactly as in
+/// [`scale_by_snmp`] (so with complete SNMP coverage the two functions
+/// return identical results). For a cell whose poll was missed
+/// ([`SnmpCounters::has_poll`] is false), the sampled bytes are instead
+/// multiplied by the packet `sampling` rate — the estimate the collector
+/// would publish with only Netflow in hand — and the cell is reported in
+/// the returned [`ScalingCoverage`] so figure builders can annotate it.
+pub fn scale_by_snmp_with_coverage(
+    flows: &[(SimTime, LinkId, FlowRecord)],
+    snmp: &SnmpCounters,
+    sampling: u32,
+) -> (Vec<ScaledVolume>, ScalingCoverage) {
+    let mut cell_sampled: BTreeMap<(SimTime, LinkId), u64> = BTreeMap::new();
+    for (bin, link, rec) in flows {
+        *cell_sampled.entry((*bin, *link)).or_insert(0) += rec.bytes as u64;
+    }
+    let mut coverage = ScalingCoverage::default();
+    for (&(bin, link), &sampled) in &cell_sampled {
+        if sampled == 0 {
+            continue;
+        }
+        if snmp.has_poll(bin, link) {
+            coverage.covered_cells += 1;
+        } else {
+            coverage.gapped_cells += 1;
+            coverage.gapped.push((bin, link));
+        }
+    }
+    let mut out = Vec::with_capacity(flows.len());
+    for (bin, link, rec) in flows {
+        let sampled_total = cell_sampled[&(*bin, *link)];
+        if sampled_total == 0 {
+            continue;
+        }
+        let factor = if snmp.has_poll(*bin, *link) {
+            snmp.delta(*bin, *link) as f64 / sampled_total as f64
+        } else {
+            sampling.max(1) as f64
+        };
+        out.push(ScaledVolume {
+            bin: *bin,
+            link: *link,
+            src: rec.src,
+            src_as: rec.src_as,
+            bytes: rec.bytes as f64 * factor,
+        });
+    }
+    (out, coverage)
+}
+
 /// Aggregates scaled volumes into bytes per (bin, source AS).
 pub fn by_source_as(volumes: &[ScaledVolume]) -> BTreeMap<(SimTime, u16), f64> {
     let mut out = BTreeMap::new();
@@ -128,6 +206,42 @@ mod tests {
         let snmp = SnmpCounters::new();
         let flows = vec![(bin, LinkId(1), rec(1, 0, 714))];
         assert!(scale_by_snmp(&flows, &snmp).is_empty());
+    }
+
+    #[test]
+    fn coverage_variant_matches_plain_scaling_without_gaps() {
+        let bin = SimTime::from_ymd(2017, 9, 19);
+        let mut snmp = SnmpCounters::new();
+        snmp.account(LinkId(1), 1_000_000);
+        snmp.account(LinkId(2), 5_000);
+        snmp.poll(bin);
+        let flows = vec![
+            (bin, LinkId(1), rec(1, 600, 20940)),
+            (bin, LinkId(1), rec(2, 400, 22822)),
+            (bin, LinkId(2), rec(3, 50, 714)),
+        ];
+        let plain = scale_by_snmp(&flows, &snmp);
+        let (with_cov, cov) = scale_by_snmp_with_coverage(&flows, &snmp, 1000);
+        assert_eq!(plain, with_cov);
+        assert_eq!(cov.covered_cells, 2);
+        assert_eq!(cov.gapped_cells, 0);
+        assert_eq!(cov.fraction(), 1.0);
+    }
+
+    #[test]
+    fn gapped_cell_falls_back_to_sampling_inversion() {
+        let bin = SimTime::from_ymd(2017, 9, 19);
+        let snmp = SnmpCounters::new(); // never polled: every cell is a gap
+        let flows = vec![(bin, LinkId(1), rec(1, 600, 20940))];
+        // The old estimator silently zeroes the cell…
+        let plain = scale_by_snmp(&flows, &snmp);
+        assert_eq!(plain[0].bytes, 0.0);
+        // …the coverage-aware one estimates from the sampling rate and
+        // flags the gap.
+        let (scaled, cov) = scale_by_snmp_with_coverage(&flows, &snmp, 1000);
+        assert!((scaled[0].bytes - 600_000.0).abs() < 1e-9);
+        assert_eq!(cov.gapped, vec![(bin, LinkId(1))]);
+        assert_eq!(cov.fraction(), 0.0);
     }
 
     #[test]

@@ -35,20 +35,42 @@ impl SnmpCounters {
     /// Polls all counters at `now`, recording the delta since the previous
     /// poll per link into the series (keyed by poll time).
     pub fn poll(&mut self, now: SimTime) {
+        self.poll_filtered(now, |_| true);
+    }
+
+    /// Polls at `now`, but only the links for which `keep` returns true —
+    /// the others miss this cycle, leaving no series entry for their bin.
+    /// Counters stay monotonic, so a skipped link's next successful poll
+    /// reports a delta covering the whole gap (exactly how real SNMP
+    /// collectors see missed cycles). With an always-true predicate this
+    /// is identical to [`SnmpCounters::poll`].
+    pub fn poll_filtered(&mut self, now: SimTime, mut keep: impl FnMut(LinkId) -> bool) {
         let bin = now.floor_to(POLL_INTERVAL);
+        let mut polled = Vec::new();
         for (link, total) in &self.counters {
+            if !keep(*link) {
+                continue;
+            }
             let last = self.last_polled.get(link).copied().unwrap_or(0);
             let delta = total - last;
             self.series.insert((bin, *link), delta);
+            polled.push(*link);
         }
-        for (link, total) in &self.counters {
-            self.last_polled.insert(*link, *total);
+        for link in polled {
+            self.last_polled.insert(link, self.counters[&link]);
         }
     }
 
     /// The polled delta for `(bin, link)`, zero if never polled.
     pub fn delta(&self, bin: SimTime, link: LinkId) -> u64 {
         self.series.get(&(bin, link)).copied().unwrap_or(0)
+    }
+
+    /// Whether `(bin, link)` has a real poll sample. Distinguishes "the
+    /// poll was missed" from "the poll saw zero bytes", which
+    /// [`SnmpCounters::delta`] conflates.
+    pub fn has_poll(&self, bin: SimTime, link: LinkId) -> bool {
+        self.series.contains_key(&(bin, link))
     }
 
     /// Sum of polled deltas for `link` over `[from, to)`.
@@ -143,6 +165,49 @@ mod tests {
         s.account(LinkId(3), 300_000_000); // 300 MB in 5 min = 8 Mbps
         s.poll(t0);
         assert!((s.peak_bps(LinkId(3)) - 8_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn missed_poll_accumulates_into_next_delta() {
+        let mut s = SnmpCounters::new();
+        let t0 = SimTime::from_ymd(2017, 9, 19);
+        s.account(LinkId(1), 100);
+        s.poll(t0);
+        // Cycle 2 is missed for link 1: no sample, counter keeps running.
+        s.account(LinkId(1), 40);
+        s.poll_filtered(t0 + POLL_INTERVAL, |l| l != LinkId(1));
+        assert!(!s.has_poll(t0 + POLL_INTERVAL, LinkId(1)));
+        // Cycle 3 succeeds and its delta covers the whole gap.
+        s.account(LinkId(1), 60);
+        s.poll(t0 + POLL_INTERVAL + POLL_INTERVAL);
+        assert_eq!(s.delta(t0 + POLL_INTERVAL + POLL_INTERVAL, LinkId(1)), 100);
+        assert_eq!(s.raw(LinkId(1)), 200);
+    }
+
+    #[test]
+    fn has_poll_distinguishes_gap_from_zero_traffic() {
+        let mut s = SnmpCounters::new();
+        let t0 = SimTime::from_ymd(2017, 9, 19);
+        s.account(LinkId(1), 0);
+        s.poll(t0);
+        assert!(s.has_poll(t0, LinkId(1)));
+        assert_eq!(s.delta(t0, LinkId(1)), 0);
+        assert!(!s.has_poll(t0 + POLL_INTERVAL, LinkId(1)));
+        assert_eq!(s.delta(t0 + POLL_INTERVAL, LinkId(1)), 0);
+    }
+
+    #[test]
+    fn poll_filtered_with_true_predicate_matches_poll() {
+        let t0 = SimTime::from_ymd(2017, 9, 19);
+        let mut a = SnmpCounters::new();
+        let mut b = SnmpCounters::new();
+        for s in [&mut a, &mut b] {
+            s.account(LinkId(1), 500);
+            s.account(LinkId(2), 700);
+        }
+        a.poll(t0);
+        b.poll_filtered(t0, |_| true);
+        assert_eq!(a.samples().collect::<Vec<_>>(), b.samples().collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Scenario run configurations.
 
+use mcdn_faults::{FaultProfile, RetryPolicy};
 use mcdn_geo::{Duration, SimTime};
 
 /// Knobs controlling campaign fidelity vs. runtime.
@@ -42,6 +43,13 @@ pub struct ScenarioConfig {
     pub probe_availability: f64,
     /// How traffic is placed on parallel links between the same AS pair.
     pub link_selection: LinkSelection,
+    /// Measurement-plane fault rates (query loss, SERVFAIL, lame windows,
+    /// NetFlow export loss, SNMP gaps). [`FaultProfile::none`] — the
+    /// default — leaves every campaign bit-identical to the fault-free
+    /// code path.
+    pub faults: FaultProfile,
+    /// Probe-side retry schedule for transient DNS failures.
+    pub retry: RetryPolicy,
 }
 
 /// Parallel-link load placement at the border.
@@ -58,6 +66,7 @@ pub enum LinkSelection {
 
 impl ScenarioConfig {
     /// Full paper-scale configuration.
+    #[allow(clippy::unusual_byte_groupings)] // the seed spells a date
     pub fn paper() -> ScenarioConfig {
         ScenarioConfig {
             seed: 0x1005_11_2017,
@@ -77,6 +86,8 @@ impl ScenarioConfig {
             enable_level3: false,
             probe_availability: 1.0,
             link_selection: LinkSelection::FillOrder,
+            faults: FaultProfile::none(),
+            retry: RetryPolicy::standard(),
         }
     }
 

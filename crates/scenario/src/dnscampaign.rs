@@ -5,8 +5,11 @@ use crate::config::ScenarioConfig;
 use crate::loads::update_loads;
 use crate::world::World;
 use mcdn_atlas::{build_fleet, Availability, UniqueIpAggregator};
-use mcdn_dnswire::RecordType;
-use mcdn_geo::{Continent, Duration, SimTime};
+use mcdn_dnssim::{FaultModel, QueryContext, UpstreamFault};
+use mcdn_dnswire::{Name, RecordType};
+use mcdn_faults::{fnv64, FaultProfile, QueryFault, RetryPolicy};
+use mcdn_geo::{Continent, Duration, Region, SimTime};
+use metacdn::CdnKind;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -19,10 +22,88 @@ pub struct DnsCampaignResult {
     /// correlation input for the ISP traffic analysis (§5.3: "we select all
     /// CDN server IPs observed in RIPE Atlas DNS measurements").
     pub ip_classes: HashMap<Ipv4Addr, CdnClass>,
-    /// Resolutions performed.
+    /// Resolutions performed (one per online probe per round, as before
+    /// fault injection existed — retries do not inflate this).
     pub resolutions: u64,
+    /// Resolution attempts including retries; equals `resolutions` when no
+    /// faults fire.
+    pub attempts: u64,
+    /// Measurements that still ended in a transient failure (SERVFAIL or
+    /// timeout) after exhausting their retry budget.
+    pub retry_exhausted: u64,
 }
 
+impl DnsCampaignResult {
+    /// Fraction of measurements that produced a usable resolution, in
+    /// `[0, 1]` — the campaign's coverage annotation.
+    pub fn success_fraction(&self) -> f64 {
+        if self.resolutions == 0 {
+            1.0
+        } else {
+            (self.resolutions - self.retry_exhausted) as f64 / self.resolutions as f64
+        }
+    }
+}
+
+/// Adapts the scenario's [`FaultProfile`] to the resolver's fault hook,
+/// coupling each zone's SERVFAIL odds to the live load of the operator
+/// behind it (Apple's zones fail more while Apple's edge is slammed, the
+/// Akamai-operated zones while Akamai's pool is hot — "load-dependent
+/// SERVFAIL from overloaded authoritative zones").
+pub struct CampaignFaults<'a> {
+    profile: FaultProfile,
+    world: &'a World,
+}
+
+impl<'a> CampaignFaults<'a> {
+    /// A fault adapter for `world` drawing decisions from `profile`.
+    pub fn new(profile: FaultProfile, world: &'a World) -> CampaignFaults<'a> {
+        CampaignFaults { profile, world }
+    }
+
+    /// The current load of the operator authoritative for `zone`, as seen
+    /// from `region`. Unknown zones are treated as idle (baseline rates
+    /// still apply).
+    fn zone_load(&self, zone: &Name, region: Region) -> f64 {
+        let z = zone.to_string();
+        if z.contains("akadns") || z.contains("akamai") || z.contains("edgesuite") {
+            self.world.state.cdn_load(CdnKind::Akamai, region)
+        } else if z.contains("llnw") {
+            self.world.state.cdn_load(CdnKind::Limelight, region)
+        } else if z.contains("lvl3") {
+            self.world.state.cdn_load(CdnKind::Level3, region)
+        } else if z.contains("apple") || z.contains("applimg") {
+            self.world.state.apple_utilization(region)
+        } else {
+            0.0
+        }
+    }
+}
+
+impl FaultModel for CampaignFaults<'_> {
+    fn upstream_fault(
+        &self,
+        zone: &Name,
+        qname: &Name,
+        ctx: &QueryContext,
+        attempt: u32,
+    ) -> Option<UpstreamFault> {
+        if self.profile.is_quiet() {
+            return None;
+        }
+        let load = self.zone_load(zone, ctx.region());
+        let zone_key = fnv64(zone.to_string().as_bytes());
+        let mut query_bytes = qname.to_string().into_bytes();
+        query_bytes.extend_from_slice(&ctx.client_ip.octets());
+        let query_key = fnv64(&query_bytes);
+        match self.profile.upstream_fault(zone_key, query_key, attempt, ctx.now, load)? {
+            QueryFault::ServFail => Some(UpstreamFault::ServFail),
+            QueryFault::Timeout => Some(UpstreamFault::Timeout),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // private driver: one arg per campaign knob
 fn run_campaign(
     world: &World,
     specs: &[mcdn_atlas::ProbeSpec],
@@ -31,12 +112,17 @@ fn run_campaign(
     interval: Duration,
     bin: Duration,
     availability: Availability,
+    profile: FaultProfile,
+    retry: RetryPolicy,
 ) -> DnsCampaignResult {
     let mut fleet = build_fleet(specs.to_vec());
     let mut agg = UniqueIpAggregator::new(bin);
     let mut ip_classes = HashMap::new();
     let mut resolutions = 0u64;
+    let mut attempts = 0u64;
+    let mut retry_exhausted = 0u64;
     let entry = metacdn::names::entry();
+    let faults = CampaignFaults::new(profile, world);
     // The controller evolves in real time regardless of how often probes
     // measure: walk it on a fine grid between measurement rounds so load
     // history (and the a1015 activation lag) is independent of cadence.
@@ -53,9 +139,13 @@ fn run_campaign(
             if !availability.is_online(probe.id, t) {
                 continue; // probe offline this epoch
             }
-            let (trace, _) = probe.measure(&world.ns, &entry, RecordType::A, t);
-            let attribution = attribute_trace(&trace);
-            for ip in trace.addresses() {
+            let outcome = probe.measure_with(&world.ns, &entry, RecordType::A, t, &faults, &retry);
+            attempts += outcome.attempts as u64;
+            if matches!(&outcome.result, Err(e) if e.is_transient()) {
+                retry_exhausted += 1;
+            }
+            let attribution = attribute_trace(&outcome.trace);
+            for ip in outcome.trace.addresses() {
                 let class = world.classify(attribution, ip);
                 agg.record(t, probe.spec.city.continent, class, ip);
                 ip_classes.insert(ip, class);
@@ -64,7 +154,7 @@ fn run_campaign(
         }
         t += interval;
     }
-    DnsCampaignResult { unique_ips: agg, ip_classes, resolutions }
+    DnsCampaignResult { unique_ips: agg, ip_classes, resolutions, attempts, retry_exhausted }
 }
 
 /// The worldwide campaign (Figure 4): `cfg.global_probes` probes resolving
@@ -78,6 +168,8 @@ pub fn run_global_dns(world: &World, cfg: &ScenarioConfig) -> DnsCampaignResult 
         cfg.global_dns_interval,
         Duration::hours(1),
         Availability::with_rate(cfg.probe_availability, cfg.seed ^ 0xA7A5),
+        cfg.faults.with_seed(cfg.faults.seed ^ 0xA7A5),
+        cfg.retry,
     )
 }
 
@@ -92,6 +184,8 @@ pub fn run_isp_dns(world: &World, cfg: &ScenarioConfig) -> DnsCampaignResult {
         cfg.isp_dns_interval,
         Duration::days(1),
         Availability::with_rate(cfg.probe_availability, cfg.seed ^ 0xB7B5),
+        cfg.faults.with_seed(cfg.faults.seed ^ 0xB7B5),
+        cfg.retry,
     )
 }
 

@@ -42,8 +42,8 @@ pub mod world;
 
 pub use classes::CdnClass;
 pub use config::{LinkSelection, ScenarioConfig};
-pub use dnscampaign::{run_global_dns, run_isp_dns, DnsCampaignResult};
+pub use dnscampaign::{run_global_dns, run_isp_dns, CampaignFaults, DnsCampaignResult};
 pub use timeline::{timeline, TimelineEntry};
 pub use tracecampaign::{run_traceroutes, TracerouteCampaignResult};
 pub use traffic::{run_isp_traffic, TrafficResult};
-pub use world::World;
+pub use world::{World, WorldBuildError};

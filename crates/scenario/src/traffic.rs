@@ -33,6 +33,13 @@ pub struct TrafficResult {
     pub dropped_bytes: u64,
     /// The sampling configuration used.
     pub sampling: u32,
+    /// Sampled NetFlow records lost between exporter and collector
+    /// (injected by the scenario's fault profile; 0 without faults).
+    pub export_losses: u64,
+    /// Per-link SNMP poll cycles missed (injected by the fault profile;
+    /// 0 without faults). The counters stay monotonic, so the next
+    /// successful poll's delta covers each gap.
+    pub polls_missed: u64,
 }
 
 /// One logical flow offered to the border in a tick.
@@ -61,6 +68,11 @@ pub fn run_isp_traffic(world: &World, cfg: &ScenarioConfig) -> TrafficResult {
     let sampler = Sampler::new(cfg.netflow_sampling);
     let mut flows: Vec<(SimTime, LinkId, FlowRecord)> = Vec::new();
     let mut dropped = 0u64;
+    let mut export_losses = 0u64;
+    let mut polls_missed = 0u64;
+    // Telemetry faults draw from their own seed stream so DNS-side and
+    // traffic-side fault patterns are independent.
+    let profile = cfg.faults.with_seed(cfg.faults.seed ^ 0x7E1E);
     let tick = cfg.traffic_tick;
     let eyeball = params::EYEBALL_AS;
     let release = params::release();
@@ -192,25 +204,49 @@ pub fn run_isp_traffic(world: &World, cfg: &ScenarioConfig) -> TrafficResult {
                         20u8.wrapping_add(chunk_i),
                     );
                     if let Some(sampled) = sampler.sample(chunk, (flow.src, dst, t)) {
-                        let rec = make_record(
-                            flow.src,
-                            dst,
-                            (link_id.0 & 0xFFFF) as u16,
-                            sampled,
-                            src_as,
-                            eyeball,
-                        );
-                        flows.push((t, link_id, rec));
+                        let mut key = [0u8; 9];
+                        key[..4].copy_from_slice(&flow.src.octets());
+                        key[4..8].copy_from_slice(&dst.octets());
+                        key[8] = chunk_i;
+                        if profile.netflow_export_lost(link_id.0 as u64, fnv64(&key), t) {
+                            // The exporter sampled the packet but the
+                            // record never reached the collector.
+                            export_losses += 1;
+                        } else {
+                            let rec = make_record(
+                                flow.src,
+                                dst,
+                                (link_id.0 & 0xFFFF) as u16,
+                                sampled,
+                                src_as,
+                                eyeball,
+                            );
+                            flows.push((t, link_id, rec));
+                        }
                     }
                     left -= chunk;
                     chunk_i = chunk_i.wrapping_add(1);
                 }
             }
         }
-        snmp.poll(t);
+        snmp.poll_filtered(t, |link| {
+            if profile.snmp_poll_missed(link.0 as u64, t) {
+                polls_missed += 1;
+                false
+            } else {
+                true
+            }
+        });
         t += tick;
     }
-    TrafficResult { flows, snmp, dropped_bytes: dropped, sampling: cfg.netflow_sampling }
+    TrafficResult {
+        flows,
+        snmp,
+        dropped_bytes: dropped,
+        sampling: cfg.netflow_sampling,
+        export_losses,
+        polls_missed,
+    }
 }
 
 /// The Limelight A-side cache addresses used for pre-fill injection.

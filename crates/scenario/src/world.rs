@@ -45,8 +45,45 @@ pub struct World {
     pub apple_isp_vips: Vec<Ipv4Addr>,
 }
 
-fn city(code: &str) -> &'static City {
-    Registry::by_locode(Locode::parse(code).expect("valid locode")).expect("city in registry")
+/// Why a [`World`] could not be assembled from a configuration.
+///
+/// Every lookup the builder performs against static data (city registry,
+/// prefix literals) is checked; a typo in [`crate::params`] or
+/// [`crate::sites`] surfaces as one of these instead of a panic deep in
+/// the build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorldBuildError {
+    /// A UN/LOCODE literal failed to parse.
+    BadLocode(String),
+    /// A locode parsed but names no city in the registry.
+    UnknownCity(String),
+    /// An IPv4 prefix literal failed to parse.
+    BadPrefix(String),
+    /// A continent needed for probe or cache placement has no registered
+    /// cities.
+    EmptyContinent(Continent),
+}
+
+impl std::fmt::Display for WorldBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorldBuildError::BadLocode(s) => write!(f, "invalid UN/LOCODE {s:?}"),
+            WorldBuildError::UnknownCity(s) => write!(f, "locode {s:?} is not in the city registry"),
+            WorldBuildError::BadPrefix(s) => write!(f, "invalid IPv4 prefix {s:?}"),
+            WorldBuildError::EmptyContinent(c) => write!(f, "no registered cities on {c}"),
+        }
+    }
+}
+
+impl std::error::Error for WorldBuildError {}
+
+fn city(code: &str) -> Result<&'static City, WorldBuildError> {
+    let loc = Locode::parse(code).ok_or_else(|| WorldBuildError::BadLocode(code.to_string()))?;
+    Registry::by_locode(loc).ok_or_else(|| WorldBuildError::UnknownCity(code.to_string()))
+}
+
+fn net(s: &str) -> Result<Ipv4Net, WorldBuildError> {
+    Ipv4Net::parse(s).ok_or_else(|| WorldBuildError::BadPrefix(s.to_string()))
 }
 
 fn info(id: AsId, name: &str, kind: AsKind, loc: &'static City) -> AsInfo {
@@ -54,38 +91,47 @@ fn info(id: AsId, name: &str, kind: AsKind, loc: &'static City) -> AsInfo {
 }
 
 impl World {
-    /// Builds the calibrated world for `cfg`.
+    /// Builds the calibrated world for `cfg`, panicking on inconsistent
+    /// static data. Thin wrapper over [`World::try_build`] for callers
+    /// (tests, binaries) where a broken world is unrecoverable anyway.
     pub fn build(cfg: &ScenarioConfig) -> World {
+        World::try_build(cfg).unwrap_or_else(|e| panic!("world build failed: {e}"))
+    }
+
+    /// Builds the calibrated world for `cfg`, surfacing bad static data
+    /// (unknown locodes, malformed prefixes, empty continents) as a typed
+    /// [`WorldBuildError`] instead of panicking.
+    pub fn try_build(cfg: &ScenarioConfig) -> Result<World, WorldBuildError> {
         let mut topo = Topology::new();
         let eyeball = params::EYEBALL_AS;
 
         // --- Core ASes -----------------------------------------------------
-        topo.add_as(info(eyeball, "Eyeball ISP", AsKind::Eyeball, city("defra")));
-        topo.add_as(info(params::APPLE_AS, "Apple", AsKind::Content, city("ussjc")));
-        topo.add_as(info(params::AKAMAI_AS, "Akamai", AsKind::Cdn, city("usbos")));
-        topo.add_as(info(params::LIMELIGHT_AS, "Limelight", AsKind::Cdn, city("usphx")));
-        topo.add_as(info(params::AWS_AS, "AWS", AsKind::Cloud, city("ussea")));
-        topo.add_as(info(params::TRANSIT_A, "AS A", AsKind::Transit, city("nlams")));
-        topo.add_as(info(params::TRANSIT_B, "AS B", AsKind::Transit, city("sesto")));
-        topo.add_as(info(params::TRANSIT_C, "AS C", AsKind::Transit, city("frpar")));
-        topo.add_as(info(params::TRANSIT_D, "AS D", AsKind::Transit, city("plwaw")));
-        topo.add_as(info(params::AKAMAI_OFFNET_AS, "Akamai off-net host", AsKind::Eyeball, city("czprg")));
-        topo.add_as(info(params::LL_CACHE_A_AS, "LL cache east", AsKind::Eyeball, city("atvie")));
-        topo.add_as(info(params::LL_CACHE_B_AS, "LL cache north", AsKind::Eyeball, city("dkcph")));
-        topo.add_as(info(params::LL_CACHE_C_AS, "LL cache west", AsKind::Eyeball, city("esmad")));
-        topo.add_as(info(params::LL_SURGE_D_AS, "LL surge host", AsKind::Eyeball, city("hubud")));
+        topo.add_as(info(eyeball, "Eyeball ISP", AsKind::Eyeball, city("defra")?));
+        topo.add_as(info(params::APPLE_AS, "Apple", AsKind::Content, city("ussjc")?));
+        topo.add_as(info(params::AKAMAI_AS, "Akamai", AsKind::Cdn, city("usbos")?));
+        topo.add_as(info(params::LIMELIGHT_AS, "Limelight", AsKind::Cdn, city("usphx")?));
+        topo.add_as(info(params::AWS_AS, "AWS", AsKind::Cloud, city("ussea")?));
+        topo.add_as(info(params::TRANSIT_A, "AS A", AsKind::Transit, city("nlams")?));
+        topo.add_as(info(params::TRANSIT_B, "AS B", AsKind::Transit, city("sesto")?));
+        topo.add_as(info(params::TRANSIT_C, "AS C", AsKind::Transit, city("frpar")?));
+        topo.add_as(info(params::TRANSIT_D, "AS D", AsKind::Transit, city("plwaw")?));
+        topo.add_as(info(params::AKAMAI_OFFNET_AS, "Akamai off-net host", AsKind::Eyeball, city("czprg")?));
+        topo.add_as(info(params::LL_CACHE_A_AS, "LL cache east", AsKind::Eyeball, city("atvie")?));
+        topo.add_as(info(params::LL_CACHE_B_AS, "LL cache north", AsKind::Eyeball, city("dkcph")?));
+        topo.add_as(info(params::LL_CACHE_C_AS, "LL cache west", AsKind::Eyeball, city("esmad")?));
+        topo.add_as(info(params::LL_SURGE_D_AS, "LL surge host", AsKind::Eyeball, city("hubud")?));
 
         // Prefix announcements.
-        topo.announce(eyeball, Ipv4Net::parse("84.17.0.0/16").expect("net"));
-        topo.announce(params::APPLE_AS, Ipv4Net::parse("17.0.0.0/8").expect("net"));
-        topo.announce(params::AKAMAI_AS, Ipv4Net::parse("23.0.0.0/12").expect("net"));
-        topo.announce(params::LIMELIGHT_AS, Ipv4Net::parse("68.232.0.0/16").expect("net"));
-        topo.announce(params::AWS_AS, Ipv4Net::parse("52.0.0.0/12").expect("net"));
-        topo.announce(params::AKAMAI_OFFNET_AS, Ipv4Net::parse("96.6.0.0/20").expect("net"));
-        topo.announce(params::LL_CACHE_A_AS, Ipv4Net::parse("69.28.0.0/24").expect("net"));
-        topo.announce(params::LL_CACHE_B_AS, Ipv4Net::parse("69.28.1.0/24").expect("net"));
-        topo.announce(params::LL_CACHE_C_AS, Ipv4Net::parse("69.28.2.0/24").expect("net"));
-        topo.announce(params::LL_SURGE_D_AS, Ipv4Net::parse("69.28.64.0/22").expect("net"));
+        topo.announce(eyeball, net("84.17.0.0/16")?);
+        topo.announce(params::APPLE_AS, net("17.0.0.0/8")?);
+        topo.announce(params::AKAMAI_AS, net("23.0.0.0/12")?);
+        topo.announce(params::LIMELIGHT_AS, net("68.232.0.0/16")?);
+        topo.announce(params::AWS_AS, net("52.0.0.0/12")?);
+        topo.announce(params::AKAMAI_OFFNET_AS, net("96.6.0.0/20")?);
+        topo.announce(params::LL_CACHE_A_AS, net("69.28.0.0/24")?);
+        topo.announce(params::LL_CACHE_B_AS, net("69.28.1.0/24")?);
+        topo.announce(params::LL_CACHE_C_AS, net("69.28.2.0/24")?);
+        topo.announce(params::LL_SURGE_D_AS, net("69.28.64.0/22")?);
 
         // --- Links ---------------------------------------------------------
         let (apple_bps, akamai_bps, ll_bps) = params::ISP_CDN_LINK_BPS;
@@ -122,6 +168,9 @@ impl World {
 
         // --- Small "other" handover transits + LL caches behind them -------
         let eu_cities: Vec<&'static City> = Registry::on_continent(Continent::Europe).collect();
+        if eu_cities.is_empty() {
+            return Err(WorldBuildError::EmptyContinent(Continent::Europe));
+        }
         for i in 0..params::SMALL_TRANSIT_COUNT {
             let id = AsId(params::SMALL_TRANSIT_AS_BASE + i);
             let loc = eu_cities[i as usize % eu_cities.len()];
@@ -142,22 +191,26 @@ impl World {
         }
 
         // --- Probe host networks (one eyeball AS per continent) ------------
-        let mut probe_as_by_continent: HashMap<Continent, AsId> = HashMap::new();
+        // Each continent keeps its enumeration index alongside the AS so
+        // the probe-address closure below needs no fallible lookups.
+        let mut probe_as_by_continent: HashMap<Continent, (AsId, u8)> = HashMap::new();
         for (k, cont) in Continent::ALL.into_iter().enumerate() {
             let id = AsId(65000 + k as u32);
-            let loc = Registry::on_continent(cont).next().expect("cities per continent");
+            let loc = Registry::on_continent(cont)
+                .next()
+                .ok_or(WorldBuildError::EmptyContinent(cont))?;
             topo.add_as(info(id, &format!("{cont} eyeball"), AsKind::Eyeball, loc));
             topo.add_link(id, params::TRANSIT_A, Relationship::CustomerToProvider, 1e12);
             topo.add_link(id, params::TRANSIT_B, Relationship::CustomerToProvider, 1e12);
             topo.announce(id, Ipv4Net::new(Ipv4Addr::new(100, 64 + k as u8, 0, 0), 16));
-            probe_as_by_continent.insert(cont, id);
+            probe_as_by_continent.insert(cont, (id, k as u8));
         }
 
         // --- CDNs ------------------------------------------------------------
         let apple = AppleCdn::build(APPLE_SITES, params::PER_SERVER_BPS);
         let gslb = apple.gslb_directory();
 
-        let ak_net = Ipv4Net::parse("23.0.0.0/12").expect("net");
+        let ak_net = net("23.0.0.0/12")?;
         let (ak_base, ak_surge, ak_offnet) = params::AKAMAI_EU_POOL;
         let akamai = ThirdPartyCdn::new("Akamai", params::AKAMAI_AS)
             .with_base(Region::Eu, ThirdPartyCdn::ips_from_prefix(ak_net, 0, ak_base))
@@ -167,7 +220,7 @@ impl World {
                 OffNetPool {
                     host_as: params::AKAMAI_OFFNET_AS,
                     ips: ThirdPartyCdn::ips_from_prefix(
-                        Ipv4Net::parse("96.6.0.0/20").expect("net"),
+                        net("96.6.0.0/20")?,
                         0,
                         ak_offnet,
                     ),
@@ -183,7 +236,7 @@ impl World {
                 ThirdPartyCdn::ips_from_prefix(ak_net, 3000, params::THIRD_PARTY_OTHER_REGION_BASE),
             );
 
-        let ll_net = Ipv4Net::parse("68.232.0.0/16").expect("net");
+        let ll_net = net("68.232.0.0/16")?;
         let (ll_base, ll_surge) = params::LIMELIGHT_EU_POOL;
         let (ra, rb, rc, rother) = params::LL_REGIONAL_POOL;
         let mut limelight = ThirdPartyCdn::new("Limelight", params::LIMELIGHT_AS)
@@ -200,7 +253,7 @@ impl World {
         // Regional off-net caches: always engaged (engage_at 0) — they are
         // part of Limelight's normal EU serving and produce the stable
         // overflow mix of quiet days.
-        for (host, net, n) in [
+        for (host, prefix, n) in [
             (params::LL_CACHE_A_AS, "69.28.0.0/24", ra),
             (params::LL_CACHE_B_AS, "69.28.1.0/24", rb),
             (params::LL_CACHE_C_AS, "69.28.2.0/24", rc),
@@ -209,7 +262,7 @@ impl World {
                 Region::Eu,
                 OffNetPool {
                     host_as: host,
-                    ips: ThirdPartyCdn::ips_from_prefix(Ipv4Net::parse(net).expect("net"), 1, n),
+                    ips: ThirdPartyCdn::ips_from_prefix(net(prefix)?, 1, n),
                     engage_at: 0.0,
                 },
             );
@@ -234,7 +287,7 @@ impl World {
             OffNetPool {
                 host_as: params::LL_SURGE_D_AS,
                 ips: ThirdPartyCdn::ips_from_prefix(
-                    Ipv4Net::parse("69.28.64.0/22").expect("net"),
+                    net("69.28.64.0/22")?,
                     1,
                     params::LL_SURGE_D_POOL,
                 ),
@@ -248,11 +301,11 @@ impl World {
         // Level3 (pre-June-2017 configuration only): its own AS, a direct
         // peering, a prefix, and a base-only pool.
         let level3 = if cfg.enable_level3 {
-            topo.add_as(info(params::LEVEL3_AS, "Level3", AsKind::Cdn, city("usden")));
-            topo.announce(params::LEVEL3_AS, Ipv4Net::parse("4.23.0.0/16").expect("net"));
+            topo.add_as(info(params::LEVEL3_AS, "Level3", AsKind::Cdn, city("usden")?));
+            topo.announce(params::LEVEL3_AS, net("4.23.0.0/16")?);
             topo.add_link(params::LEVEL3_AS, eyeball, Relationship::PeerToPeer, 1e12);
             topo.add_link(params::LEVEL3_AS, params::TRANSIT_B, Relationship::CustomerToProvider, 4e12);
-            let l3_net = Ipv4Net::parse("4.23.0.0/16").expect("net");
+            let l3_net = net("4.23.0.0/16")?;
             let mut l3 = ThirdPartyCdn::new("Level3", params::LEVEL3_AS);
             for region in [Region::Us, Region::Eu] {
                 let offset = if region == Region::Us { 0 } else { 500 };
@@ -276,14 +329,12 @@ impl World {
             akamai: Arc::clone(&akamai),
             limelight: Arc::clone(&limelight),
             level3: level3.clone(),
-            china_ips: Ipv4Net::parse("17.200.1.0/28")
-                .expect("net")
+            china_ips: net("17.200.1.0/28")?
                 .iter()
                 .skip(1)
                 .take(8)
                 .collect(),
-            india_ips: Ipv4Net::parse("17.200.2.0/28")
-                .expect("net")
+            india_ips: net("17.200.2.0/28")?
                 .iter()
                 .skip(1)
                 .take(8)
@@ -317,45 +368,34 @@ impl World {
             })
             .collect();
         let global_probe_specs = spread_specs(cfg.global_probes, &global_cities, cfg.seed, |c, i| {
-            let asn = probe_as_by_continent[&c.continent];
-            let k = Continent::ALL.iter().position(|x| *x == c.continent).expect("continent") as u8;
+            let (asn, k) = probe_as_by_continent[&c.continent];
             (asn, Ipv4Addr::new(100, 64 + k, (i / 250) as u8, (i % 250) as u8 + 1))
         });
 
         let isp_cities: Vec<(&'static City, f64)> =
-            vec![(city("defra"), 1.0), (city("deber"), 1.0), (city("demuc"), 1.0)];
+            vec![(city("defra")?, 1.0), (city("deber")?, 1.0), (city("demuc")?, 1.0)];
         let isp_probe_specs = spread_specs(cfg.isp_probes, &isp_cities, cfg.seed ^ 0xA77A5, |_, i| {
             (eyeball, Ipv4Addr::new(84, 17, (i / 250) as u8, (i % 250) as u8 + 1))
         });
 
         // --- Vantage VMs (9 AWS regions, all continents except Africa) --------
         let vm_cities = ["usnyc", "ussjc", "iedub", "defra", "sgsin", "jptyo", "ausyd", "inbom", "brsao"];
-        let vms = vm_cities
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                VantageVm::new(city(c), params::AWS_AS, Ipv4Addr::new(52, 1, i as u8, 10))
-            })
-            .collect();
+        let mut vms = Vec::with_capacity(vm_cities.len());
+        for (i, c) in vm_cities.iter().enumerate() {
+            vms.push(VantageVm::new(city(c)?, params::AWS_AS, Ipv4Addr::new(52, 1, i as u8, 10)));
+        }
 
         // Apple vips serving the ISP: sites within reach of the German
         // footprint (≤ 600 km of Frankfurt/Berlin/Munich).
+        let anchors = [city("defra")?, city("deber")?, city("nlams")?];
         let apple_isp_vips = apple
             .sites()
             .iter()
-            .filter(|s| {
-                ["defra", "deber", "nlams"].iter().any(|c| {
-                    Registry::by_locode(Locode::parse(c).expect("code"))
-                        .expect("city")
-                        .coord
-                        .distance_km(&s.coord)
-                        < 300.0
-                })
-            })
+            .filter(|s| anchors.iter().any(|a| a.coord.distance_km(&s.coord) < 300.0))
             .flat_map(|s| s.vip_addrs())
             .collect();
 
-        World {
+        Ok(World {
             topo,
             apple,
             gslb,
@@ -369,7 +409,7 @@ impl World {
             vms,
             isp_d_links,
             apple_isp_vips,
-        }
+        })
     }
 
     /// Classifies an observed address into the figure-legend classes.
@@ -497,6 +537,23 @@ mod tests {
         let apple_directed = 0.33 * peak;
         let util = apple_directed / cap;
         assert!((0.8..2.0).contains(&util), "day-0 Apple utilization {util}");
+    }
+
+    #[test]
+    fn try_build_succeeds_on_the_shipped_configs() {
+        for cfg in [ScenarioConfig::fast(), ScenarioConfig::paper()] {
+            let w = World::try_build(&cfg).expect("shipped static data is consistent");
+            assert_eq!(w.vms.len(), 9);
+        }
+    }
+
+    #[test]
+    fn bad_static_data_surfaces_as_typed_errors() {
+        assert_eq!(city("zz").unwrap_err(), WorldBuildError::BadLocode("zz".into()));
+        assert_eq!(city("zzzzz").unwrap_err(), WorldBuildError::UnknownCity("zzzzz".into()));
+        assert_eq!(net("300.0.0.0/8").unwrap_err(), WorldBuildError::BadPrefix("300.0.0.0/8".into()));
+        let msg = WorldBuildError::UnknownCity("zzzzz".into()).to_string();
+        assert!(msg.contains("zzzzz"), "error display names the offending code: {msg}");
     }
 
     #[test]

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI entry point: build, test, lint, and verify determinism.
+#
+# The determinism gate runs the reduced-scale global DNS campaign twice
+# with the same (built-in) seed and requires bit-identical output — the
+# property every figure in this repo rests on, and the guarantee the
+# fault-injection layer must not break.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> determinism: same seed, same campaign output"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run --release -q -p mcdn-analysis --bin mcdn -- campaign global > "$tmpdir/run1.txt"
+cargo run --release -q -p mcdn-analysis --bin mcdn -- campaign global > "$tmpdir/run2.txt"
+diff -u "$tmpdir/run1.txt" "$tmpdir/run2.txt"
+echo "    identical ($(wc -l < "$tmpdir/run1.txt") lines)"
+
+echo "CI OK"
