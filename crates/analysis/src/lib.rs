@@ -18,11 +18,13 @@
 //! | [`fig7`] | Figure 7 — update traffic ratio by source AS |
 //! | [`fig8`] | Figure 8 — overflow share by handover AS |
 //! | [`coverage`] | Data-completeness annotations for fault-injected runs |
+//! | [`chaos`] | Chaos-sweep availability/offload deltas (beyond the paper) |
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cache_location;
+pub mod chaos;
 pub mod coverage;
 pub mod fig1;
 pub mod fig2;

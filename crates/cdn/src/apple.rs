@@ -120,18 +120,32 @@ impl AppleCdn {
     /// DNS mapping policies hold this instead of the mutable CDN itself.
     pub fn gslb_directory(&self) -> GslbDirectory {
         GslbDirectory {
-            sites: self.sites.iter().map(|s| (s.coord, s.vip_addrs())).collect(),
+            sites: self
+                .sites
+                .iter()
+                .map(|s| (s.site_key(), s.coord, s.vip_addrs()))
+                .collect(),
         }
     }
 
     /// Aggregate serving capacity of sites on `continent`, in bps.
     pub fn capacity_bps_on(&self, continent: Continent) -> f64 {
+        self.capacity_bps_on_where(continent, |_| 1.0)
+    }
+
+    /// Aggregate serving capacity of sites on `continent` with each site's
+    /// contribution scaled by `factor(site_key)` (clamped to `[0, 1]`) —
+    /// how the chaos layer prices site outages and brownouts into the
+    /// controller's capacity view.
+    pub fn capacity_bps_on_where<F: Fn(u64) -> f64>(&self, continent: Continent, factor: F) -> f64 {
         self.sites
             .iter()
             .filter(|s| {
                 Registry::by_locode(s.locode).map(|c| c.continent) == Some(continent)
             })
-            .map(|s| s.bx_count() as f64 * self.per_server_bps)
+            .map(|s| {
+                s.bx_count() as f64 * self.per_server_bps * factor(s.site_key()).clamp(0.0, 1.0)
+            })
             .sum()
     }
 
@@ -141,24 +155,40 @@ impl AppleCdn {
     }
 }
 
-/// Immutable GSLB answer data: per-site coordinates and vip addresses.
+/// Immutable GSLB answer data: per-site keys, coordinates, and vip
+/// addresses.
 ///
 /// Built by [`AppleCdn::gslb_directory`]; shared with the `metacdn` DNS
 /// policies so they can answer `{a|b}.gslb.applimg.com` queries while the
 /// simulation separately mutates cache state inside the [`AppleCdn`].
 #[derive(Debug, Clone)]
 pub struct GslbDirectory {
-    sites: Vec<(Coord, Vec<Ipv4Addr>)>,
+    sites: Vec<(u64, Coord, Vec<Ipv4Addr>)>,
 }
 
 impl GslbDirectory {
     /// See [`AppleCdn::gslb_answer`].
     pub fn answer(&self, client_ip: Ipv4Addr, coord: Coord, now: SimTime) -> Vec<Ipv4Addr> {
+        self.answer_filtered(client_ip, coord, now, &|_| false)
+    }
+
+    /// The GSLB answer with down sites skipped: sites whose key makes
+    /// `down` return true are excluded before nearest-site ranking, so
+    /// clients of a dead site silently fail over to the next-nearest one.
+    /// With a never-true filter this is exactly [`GslbDirectory::answer`].
+    pub fn answer_filtered(
+        &self,
+        client_ip: Ipv4Addr,
+        coord: Coord,
+        now: SimTime,
+        down: &dyn Fn(u64) -> bool,
+    ) -> Vec<Ipv4Addr> {
         let mut ranked: Vec<(f64, usize)> = self
             .sites
             .iter()
             .enumerate()
-            .map(|(i, (c, _))| (coord.distance_km(c), i))
+            .filter(|(_, (key, _, _))| !down(*key))
+            .map(|(i, (_, c, _))| (coord.distance_km(c), i))
             .collect();
         ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         if ranked.is_empty() {
@@ -166,7 +196,7 @@ impl GslbDirectory {
         }
         let client_hash = fnv64(&client_ip.octets());
         let pick = if ranked.len() > 1 && client_hash.is_multiple_of(4) { ranked[1].1 } else { ranked[0].1 };
-        let vips = &self.sites[pick].1;
+        let vips = &self.sites[pick].2;
         let rot = (client_hash ^ (now.as_secs() / GSLB_ROTATION.as_secs())) as usize;
         let k = 2.min(vips.len());
         (0..k).map(|j| vips[(rot + j) % vips.len()]).collect()
@@ -174,7 +204,12 @@ impl GslbDirectory {
 
     /// Every vip address in the directory.
     pub fn all_vips(&self) -> Vec<Ipv4Addr> {
-        self.sites.iter().flat_map(|(_, v)| v.iter().copied()).collect()
+        self.sites.iter().flat_map(|(_, _, v)| v.iter().copied()).collect()
+    }
+
+    /// Keys of every site in the directory, in site order.
+    pub fn site_keys(&self) -> Vec<u64> {
+        self.sites.iter().map(|(k, _, _)| *k).collect()
     }
 }
 
@@ -283,5 +318,66 @@ mod tests {
         let na = cdn.capacity_bps_on(Continent::NorthAmerica);
         assert_eq!(eu, (32.0 + 32.0 + 8.0) * 10e9);
         assert_eq!(na, 16.0 * 10e9);
+    }
+
+    #[test]
+    fn factored_capacity_prices_in_site_outages() {
+        let cdn = small();
+        let keys = cdn.gslb_directory().site_keys();
+        assert_eq!(keys.len(), 4);
+        // All-ones factor is exactly the unfactored capacity.
+        assert_eq!(
+            cdn.capacity_bps_on_where(Continent::Europe, |_| 1.0),
+            cdn.capacity_bps_on(Continent::Europe)
+        );
+        // Killing one Frankfurt site removes exactly its 32 servers.
+        let dead = cdn
+            .sites()
+            .iter()
+            .find(|s| s.locode.as_str() == "defra" && s.site_id == 1)
+            .unwrap()
+            .site_key();
+        let degraded = cdn.capacity_bps_on_where(Continent::Europe, |k| if k == dead { 0.0 } else { 1.0 });
+        assert_eq!(degraded, (32.0 + 8.0) * 10e9);
+        // Factors are clamped into [0, 1].
+        assert_eq!(
+            cdn.capacity_bps_on_where(Continent::Europe, |_| 7.0),
+            cdn.capacity_bps_on(Continent::Europe)
+        );
+    }
+
+    #[test]
+    fn filtered_gslb_skips_down_sites() {
+        let cdn = small();
+        let fra = Coord::new(50.1, 8.7);
+        let t = SimTime::from_ymd(2017, 9, 15);
+        let dir = cdn.gslb_directory();
+        let down: std::collections::HashSet<u64> = cdn
+            .sites()
+            .iter()
+            .filter(|s| s.locode.as_str() == "defra")
+            .map(|s| s.site_key())
+            .collect();
+        // With both Frankfurt sites down, every client fails over to the
+        // next-nearest site (London/NYC) — never a dead vip.
+        for i in 0..64u32 {
+            let client = Ipv4Addr::from(0x0A00_0200 + i * 13);
+            let ans = dir.answer_filtered(client, fra, t, &|k| down.contains(&k));
+            assert!(!ans.is_empty());
+            for ip in ans {
+                let name = cdn.ptr_lookup(ip).unwrap();
+                assert_ne!(name.locode.as_str(), "defra", "dead site must not answer");
+            }
+        }
+        // A never-true filter is bit-identical to the unfiltered answer.
+        for i in 0..64u32 {
+            let client = Ipv4Addr::from(0x0A00_0300 + i * 7);
+            assert_eq!(
+                dir.answer(client, fra, t),
+                dir.answer_filtered(client, fra, t, &|_| false)
+            );
+        }
+        // Everything down: the GSLB has no answer (NXDOMAIN upstream).
+        assert!(dir.answer_filtered(Ipv4Addr::new(10, 0, 0, 1), fra, t, &|_| true).is_empty());
     }
 }

@@ -103,6 +103,15 @@ impl EdgeSite {
         self.vips.iter().map(|(_, ip)| *ip).collect()
     }
 
+    /// A stable 64-bit key identifying this site (location + site id) —
+    /// the handle the fault layer hashes to place per-site outage and
+    /// brownout windows.
+    pub fn site_key(&self) -> u64 {
+        let mut bytes = self.locode.as_str().as_bytes().to_vec();
+        bytes.push(self.site_id);
+        fnv64(&bytes)
+    }
+
     /// Number of edge-bx servers (the per-site count shown in Figure 3).
     pub fn bx_count(&self) -> usize {
         self.edge_bx.len()
@@ -270,5 +279,19 @@ mod tests {
     fn fnv_is_deterministic_and_spread() {
         assert_eq!(fnv64(b"abc"), fnv64(b"abc"));
         assert_ne!(fnv64(b"abc"), fnv64(b"abd"));
+    }
+
+    #[test]
+    fn site_keys_distinguish_sites() {
+        let a = site();
+        let b = EdgeSite::build(
+            Locode::parse("defra").unwrap(),
+            2,
+            Coord::new(50.1, 8.7),
+            32,
+            Ipv4Addr::new(17, 253, 6, 0),
+        );
+        assert_eq!(a.site_key(), site().site_key(), "key is stable");
+        assert_ne!(a.site_key(), b.site_key(), "site id distinguishes co-located sites");
     }
 }

@@ -130,6 +130,15 @@ impl ThirdPartyCdn {
         self.exposed(region, 1.0)
     }
 
+    /// Total number of addresses configured for `region` across all pool
+    /// kinds. The world builder rejects schedules that send weight to a
+    /// CDN whose regional pool is empty (such answers would NXDOMAIN).
+    pub fn pool_size(&self, region: Region) -> usize {
+        self.base.get(&region).map_or(0, Vec::len)
+            + self.surge.get(&region).map_or(0, Vec::len)
+            + self.offnet.get(&region).into_iter().flatten().map(|p| p.ips.len()).sum::<usize>()
+    }
+
     /// The DNS answer for one client: `k` addresses drawn from the exposed
     /// set, rotated per client and per minute — the pattern that makes a
     /// probe fleet's unique-IP union grow with the exposed set size.
@@ -237,6 +246,13 @@ mod tests {
             }
         }
         assert!(union.len() > 100, "union {} should approach pool size 150", union.len());
+    }
+
+    #[test]
+    fn pool_size_counts_every_kind() {
+        let c = cdn();
+        assert_eq!(c.pool_size(Region::Eu), 10 + 100 + 40);
+        assert_eq!(c.pool_size(Region::Apac), 0);
     }
 
     #[test]

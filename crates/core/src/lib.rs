@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 pub mod graph;
+pub mod health;
 pub mod kinds;
 pub mod names;
 pub mod policy;
@@ -46,6 +47,7 @@ pub mod state;
 pub mod zones;
 
 pub use graph::{mapping_graph, GraphEdge, Operator};
+pub use health::{HealthParams, HealthTracker, HealthTransition};
 pub use kinds::CdnKind;
 pub use policy::{CdnShare, Schedule};
 pub use state::{pick_weighted, MetaCdnState, StateSnapshot, A1015_LAG, AKAMAI_OVERLOAD_THRESHOLD};

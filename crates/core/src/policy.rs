@@ -107,6 +107,21 @@ impl Schedule {
         self
     }
 
+    /// Whether `kind` can ever receive positive selection weight in
+    /// `region` — in the default share or any of the region's breakpoints,
+    /// and only if the CDN operates there at all. The world builder uses
+    /// this to reject configurations that schedule a CDN with no sites.
+    pub fn ever_uses_in(&self, region: Region, kind: CdnKind) -> bool {
+        if !kind.available_in(region) {
+            return false;
+        }
+        self.default.weight(kind) > 0.0
+            || self
+                .breakpoints
+                .get(&region)
+                .is_some_and(|pts| pts.iter().any(|(_, s)| s.weight(kind) > 0.0))
+    }
+
     /// The share in force for `region` at `now`.
     pub fn share_at(&self, region: Region, now: SimTime) -> CdnShare {
         let mut current = self.default;
@@ -165,6 +180,21 @@ mod tests {
         assert_eq!(s.share_at(Region::Eu, t(21, 5)), after);
         // Other regions keep the default.
         assert_eq!(s.share_at(Region::Us, t(19, 18)), day0);
+    }
+
+    #[test]
+    fn ever_uses_in_sees_default_and_breakpoints() {
+        let quiet = CdnShare { apple: 1.0, akamai: 0.0, limelight: 0.0, level3: 0.0 };
+        let event = quiet.with_weight(CdnKind::Limelight, 0.4);
+        let s = Schedule::constant(quiet).with(Region::Eu, t(19, 17), event);
+        assert!(s.ever_uses_in(Region::Eu, CdnKind::Apple));
+        assert!(s.ever_uses_in(Region::Eu, CdnKind::Limelight), "breakpoint weight counts");
+        assert!(!s.ever_uses_in(Region::Us, CdnKind::Limelight), "other regions unaffected");
+        assert!(!s.ever_uses_in(Region::Eu, CdnKind::Akamai));
+        // A scheduled-but-unavailable CDN is never used.
+        let l3 = Schedule::constant(quiet.with_weight(CdnKind::Level3, 0.2));
+        assert!(l3.ever_uses_in(Region::Eu, CdnKind::Level3));
+        assert!(!l3.ever_uses_in(Region::Apac, CdnKind::Level3), "no Level3 in APAC");
     }
 
     #[test]

@@ -18,12 +18,19 @@
 //!   appear for EU requests six hours after the release. The state records
 //!   when Akamai's load first crosses [`AKAMAI_OVERLOAD_THRESHOLD`] and
 //!   reports the event map active [`A1015_LAG`] later, until load recedes.
+//! * **Health-checked failover** — the chaos layer's probe loop publishes
+//!   per-CDN health verdicts (hysteresis lives in [`crate::health`]) and
+//!   capacity factors (site outages, brownouts, load-coupled degradation).
+//!   The effective share ejects unhealthy CDNs, sheds weight away from
+//!   capacity-degraded ones onto the next-preferred CDNs, and — when every
+//!   signal is lost — freezes onto the last-known-good mapping. With no
+//!   signal set, the pipeline is bit-identical to the health-blind one.
 
 use crate::kinds::CdnKind;
 use crate::policy::{CdnShare, Schedule};
 use mcdn_cdn::site::fnv64;
 use mcdn_geo::{Duration, Region, SimTime};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 use std::sync::RwLock;
 
@@ -43,6 +50,16 @@ struct Inner {
     apple_util: HashMap<Region, f64>,
     cdn_load: HashMap<(CdnKind, Region), f64>,
     akamai_overload_since: HashMap<Region, SimTime>,
+    /// Health verdicts from the chaos layer's probe loop; absent = healthy.
+    cdn_health: HashMap<(CdnKind, Region), bool>,
+    /// Remaining serving-capacity fraction per (CDN, region); absent = 1.
+    capacity_factor: HashMap<(CdnKind, Region), f64>,
+    /// Last share computed while at least one CDN was still reachable —
+    /// the mapping the controller freezes onto when every health signal
+    /// is lost.
+    last_good: HashMap<Region, Vec<(CdnKind, f64)>>,
+    /// Apple GSLB sites currently down (by site key); the GSLB skips them.
+    down_sites: HashSet<u64>,
 }
 
 /// Shared controller state (thread-safe; policies hold `Arc<MetaCdnState>`).
@@ -116,9 +133,66 @@ impl MetaCdnState {
             .is_some_and(|since| now >= *since + A1015_LAG)
     }
 
+    /// Reports a CDN's health verdict for `region`, as decided by the
+    /// chaos layer's probe loop (through [`crate::health::HealthTracker`]
+    /// hysteresis). Unhealthy CDNs are ejected from the effective share.
+    pub fn set_cdn_health(&self, kind: CdnKind, region: Region, healthy: bool) {
+        self.inner.write().expect("state lock").cdn_health.insert((kind, region), healthy);
+    }
+
+    /// The last health verdict for `(kind, region)`; defaults to healthy.
+    pub fn cdn_healthy(&self, kind: CdnKind, region: Region) -> bool {
+        *self.inner.read().expect("state lock").cdn_health.get(&(kind, region)).unwrap_or(&true)
+    }
+
+    /// Reports the fraction of its modeled capacity a CDN retains in
+    /// `region` (site outages, brownouts, load-coupled degradation).
+    /// Values are clamped to `[0, 1]`; 1 — the default — is a no-op.
+    pub fn set_capacity_factor(&self, kind: CdnKind, region: Region, factor: f64) {
+        self.inner
+            .write()
+            .expect("state lock")
+            .capacity_factor
+            .insert((kind, region), factor.clamp(0.0, 1.0));
+    }
+
+    /// The last reported capacity factor for `(kind, region)`, default 1.
+    pub fn capacity_factor(&self, kind: CdnKind, region: Region) -> f64 {
+        *self.inner.read().expect("state lock").capacity_factor.get(&(kind, region)).unwrap_or(&1.0)
+    }
+
+    /// Marks one Apple GSLB site (by [`mcdn_cdn::site::EdgeSite::site_key`])
+    /// up or down; the GSLB answer logic skips down sites.
+    pub fn set_site_down(&self, site_key: u64, down: bool) {
+        let mut inner = self.inner.write().expect("state lock");
+        if down {
+            inner.down_sites.insert(site_key);
+        } else {
+            inner.down_sites.remove(&site_key);
+        }
+    }
+
+    /// Whether the Apple site with `site_key` is currently marked down.
+    pub fn site_is_down(&self, site_key: u64) -> bool {
+        self.inner.read().expect("state lock").down_sites.contains(&site_key)
+    }
+
+    /// Number of Apple sites currently marked down.
+    pub fn down_site_count(&self) -> usize {
+        self.inner.read().expect("state lock").down_sites.len()
+    }
+
     /// The selection probabilities actually in force: the scheduled share
-    /// with Apple's overflow spilled onto the available third parties.
+    /// with Apple's overflow spilled onto the available third parties,
+    /// then degraded by the health/capacity signals of the chaos layer
+    /// (no-op while no degradation signal is set).
     pub fn effective_share(&self, region: Region, now: SimTime) -> Vec<(CdnKind, f64)> {
+        let probs = self.overflow_share(region, now);
+        self.degraded_share(region, probs)
+    }
+
+    /// The scheduled share with Apple's overflow applied (health-blind).
+    fn overflow_share(&self, region: Region, now: SimTime) -> Vec<(CdnKind, f64)> {
         let base = self.schedule.share_at(region, now);
         let mut probs = base.normalized_in(region);
         if probs.is_empty() {
@@ -157,6 +231,62 @@ impl MetaCdnState {
             }
         }
         probs
+    }
+
+    /// Applies the chaos layer's degradation signals to a share vector:
+    ///
+    /// 1. **Capacity-aware load shedding** — each CDN keeps weight in
+    ///    proportion to its remaining capacity factor; the shed weight
+    ///    spills onto the surviving CDNs proportionally (the
+    ///    next-preferred CDNs absorb it).
+    /// 2. **Health ejection** — CDNs voted unhealthy by the probe loop
+    ///    contribute nothing.
+    /// 3. **Last-known-good fallback** — if every CDN is ejected or at
+    ///    factor 0, the controller freezes onto the last share it computed
+    ///    while something was still reachable (or the undegraded share if
+    ///    degradation struck before anything was recorded).
+    ///
+    /// With no health verdicts and all factors at 1 the input is returned
+    /// untouched, keeping fault-free pipelines bit-identical.
+    fn degraded_share(&self, region: Region, probs: Vec<(CdnKind, f64)>) -> Vec<(CdnKind, f64)> {
+        if probs.is_empty() {
+            return probs;
+        }
+        let kept: Vec<(CdnKind, f64)> = {
+            let inner = self.inner.read().expect("state lock");
+            let degraded = probs.iter().any(|(k, _)| {
+                !*inner.cdn_health.get(&(*k, region)).unwrap_or(&true)
+                    || *inner.capacity_factor.get(&(*k, region)).unwrap_or(&1.0) < 1.0
+            });
+            if !degraded {
+                return probs;
+            }
+            probs
+                .iter()
+                .map(|(k, p)| {
+                    let healthy = *inner.cdn_health.get(&(*k, region)).unwrap_or(&true);
+                    let factor =
+                        (*inner.capacity_factor.get(&(*k, region)).unwrap_or(&1.0)).clamp(0.0, 1.0);
+                    (*k, if healthy { p * factor } else { 0.0 })
+                })
+                .collect()
+        };
+        let total: f64 = probs.iter().map(|(_, p)| p).sum();
+        let kept_total: f64 = kept.iter().map(|(_, p)| p).sum();
+        if kept_total <= 0.0 {
+            // Every health signal lost: graceful degradation to the
+            // last-known-good mapping.
+            let inner = self.inner.read().expect("state lock");
+            return inner.last_good.get(&region).cloned().unwrap_or(probs);
+        }
+        let mut out: Vec<(CdnKind, f64)> = kept
+            .into_iter()
+            .filter(|(_, p)| *p > 0.0)
+            .map(|(k, p)| (k, p * total / kept_total))
+            .collect();
+        out.shrink_to_fit();
+        self.inner.write().expect("state lock").last_good.insert(region, out.clone());
+        out
     }
 
     /// Step ② decision: which CDN serves `client_ip` in `region` at `now`.
@@ -328,6 +458,86 @@ mod tests {
             let k = s.select_third_party(Region::Eu, ip, t0()).unwrap();
             assert_ne!(k, CdnKind::Apple);
         }
+    }
+
+    #[test]
+    fn default_signals_leave_share_untouched() {
+        let s = state_with(0.5, 0.25, 0.25);
+        s.set_apple_utilization(Region::Eu, 2.0);
+        let before = s.effective_share(Region::Eu, t0());
+        // Publishing all-healthy / factor-1 signals must not change a bit.
+        for k in [CdnKind::Apple, CdnKind::Akamai, CdnKind::Limelight] {
+            s.set_cdn_health(k, Region::Eu, true);
+            s.set_capacity_factor(k, Region::Eu, 1.0);
+        }
+        assert_eq!(before, s.effective_share(Region::Eu, t0()));
+    }
+
+    #[test]
+    fn unhealthy_cdn_is_ejected_and_weight_respreads() {
+        let s = state_with(0.5, 0.25, 0.25);
+        s.set_cdn_health(CdnKind::Limelight, Region::Eu, false);
+        let share = s.effective_share(Region::Eu, t0());
+        let get = |k| share.iter().find(|(x, _)| *x == k).map(|(_, p)| *p).unwrap_or(0.0);
+        assert_eq!(get(CdnKind::Limelight), 0.0);
+        // 0.25 of weight respreads proportionally onto Apple and Akamai.
+        assert!((get(CdnKind::Apple) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((get(CdnKind::Akamai) - 1.0 / 3.0).abs() < 1e-12);
+        let total: f64 = share.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Restoration brings the original share back exactly.
+        s.set_cdn_health(CdnKind::Limelight, Region::Eu, true);
+        let restored = s.effective_share(Region::Eu, t0());
+        let get = |k: CdnKind| restored.iter().find(|(x, _)| *x == k).unwrap().1;
+        assert!((get(CdnKind::Limelight) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_factor_sheds_weight_to_survivors() {
+        let s = state_with(0.5, 0.25, 0.25);
+        s.set_capacity_factor(CdnKind::Apple, Region::Eu, 0.5);
+        let share = s.effective_share(Region::Eu, t0());
+        let get = |k| share.iter().find(|(x, _)| *x == k).unwrap().1;
+        // Apple keeps 0.25 of raw weight; renormalization spreads the shed
+        // 0.25 over all survivors proportionally (0.25/0.75 scale-up).
+        assert!((get(CdnKind::Apple) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((get(CdnKind::Akamai) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((get(CdnKind::Limelight) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_signals_lost_falls_back_to_last_known_good() {
+        let s = state_with(0.5, 0.25, 0.25);
+        // Record a degraded-but-alive mapping first.
+        s.set_cdn_health(CdnKind::Limelight, Region::Eu, false);
+        let good = s.effective_share(Region::Eu, t0());
+        assert!(!good.is_empty());
+        // Now every CDN goes dark.
+        for k in [CdnKind::Apple, CdnKind::Akamai, CdnKind::Level3] {
+            s.set_cdn_health(k, Region::Eu, false);
+        }
+        let frozen = s.effective_share(Region::Eu, t0());
+        assert_eq!(frozen, good, "controller freezes onto the last good mapping");
+        // Without any recorded good mapping, the undegraded share is used.
+        let fresh = state_with(0.5, 0.25, 0.25);
+        for k in CdnKind::ALL {
+            fresh.set_cdn_health(k, Region::Eu, false);
+        }
+        let fallback = fresh.effective_share(Region::Eu, t0());
+        let total: f64 = fallback.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12, "fallback is still a distribution");
+    }
+
+    #[test]
+    fn down_site_registry_round_trips() {
+        let s = state_with(1.0, 0.0, 0.0);
+        assert!(!s.site_is_down(99));
+        assert_eq!(s.down_site_count(), 0);
+        s.set_site_down(99, true);
+        assert!(s.site_is_down(99));
+        assert_eq!(s.down_site_count(), 1);
+        s.set_site_down(99, false);
+        assert!(!s.site_is_down(99));
     }
 
     #[test]

@@ -218,13 +218,20 @@ fn applimg_zone(cfg: &MetaCdnConfig) -> Zone {
 
     for which in ['a', 'b'] {
         let gslb = cfg.gslb.clone();
+        let state = Arc::clone(&cfg.state);
         let owner = names::gslb(which);
         let owner_for_policy = owner.clone();
         z.set_policy(
             owner,
             Arc::new(move |qtype: RecordType, ctx: &QueryContext| {
                 only_a(qtype, || {
-                    let addrs = gslb.answer(ctx.client_ip, ctx.coord, ctx.now);
+                    // Health-checked mapping: sites the controller marked
+                    // down are skipped, so clients fail over to the next
+                    // nearest site instead of receiving dead vips. With no
+                    // down sites this is bit-identical to plain `answer`.
+                    let addrs = gslb.answer_filtered(ctx.client_ip, ctx.coord, ctx.now, &|key| {
+                        state.site_is_down(key)
+                    });
                     a_records(&owner_for_policy, names::TTL_APPLE_A, &addrs)
                 })
             }),

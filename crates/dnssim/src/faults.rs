@@ -58,3 +58,56 @@ impl FaultModel for NoFaults {
         None
     }
 }
+
+/// Any pure closure with the right shape is a fault model. This lets tests
+/// and the chaos harness inject ad-hoc conditions ("that one zone is dark")
+/// without defining a named type:
+///
+/// ```ignore
+/// let dark = |zone: &Name, _: &Name, _: &QueryContext, _: u32| {
+///     (zone == &gslb_apex).then_some(UpstreamFault::Timeout)
+/// };
+/// resolver.resolve_with(&q, &ctx, &dark);
+/// ```
+impl<F> FaultModel for F
+where
+    F: Fn(&Name, &Name, &QueryContext, u32) -> Option<UpstreamFault>,
+{
+    fn upstream_fault(
+        &self,
+        zone: &Name,
+        qname: &Name,
+        ctx: &QueryContext,
+        attempt: u32,
+    ) -> Option<UpstreamFault> {
+        self(zone, qname, ctx, attempt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdn_geo::{Continent, Coord, Locode, SimTime};
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn closures_are_fault_models() {
+        let zone = Name::parse("applimg.com.").unwrap();
+        let other = Name::parse("example.com.").unwrap();
+        let q = Name::parse("a.gslb.applimg.com.").unwrap();
+        let ctx = QueryContext {
+            client_ip: Ipv4Addr::new(198, 51, 100, 1),
+            locode: Locode::parse("deber").unwrap(),
+            coord: Coord::new(52.5, 13.4),
+            continent: Continent::Europe,
+            now: SimTime::from_ymd(2017, 9, 19),
+        };
+        let dark_zone = zone.clone();
+        let model = move |z: &Name, _: &Name, _: &QueryContext, _: u32| {
+            (*z == dark_zone).then_some(UpstreamFault::Timeout)
+        };
+        assert_eq!(model.upstream_fault(&zone, &q, &ctx, 0), Some(UpstreamFault::Timeout));
+        assert_eq!(model.upstream_fault(&other, &q, &ctx, 0), None);
+        assert_eq!(NoFaults.upstream_fault(&zone, &q, &ctx, 0), None);
+    }
+}

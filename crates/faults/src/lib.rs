@@ -120,6 +120,44 @@ pub struct FaultProfile {
     pub netflow_export_loss: f64,
     /// Probability that a link misses one 5-minute SNMP poll cycle.
     pub snmp_gap: f64,
+    /// Mean hours between full-outage windows per CDN site (0 disables site
+    /// outages). While a site is down it serves nothing and its health
+    /// probes fail.
+    pub site_outage_every_hours: u32,
+    /// Length of one site-outage window, in hours.
+    pub site_outage_hours: u32,
+    /// Mean hours between capacity-brownout windows per CDN site (0
+    /// disables brownouts).
+    pub brownout_every_hours: u32,
+    /// Length of one brownout window, in hours.
+    pub brownout_hours: u32,
+    /// Fraction of a site's capacity lost during a brownout window, in
+    /// `[0, 1]` (0.6 means the site keeps 40 % of its capacity).
+    pub brownout_depth: f64,
+    /// Mean hours between authoritative-NS outage windows per zone (0
+    /// disables NS outages). A dark zone answers nothing — every upstream
+    /// query to it times out.
+    pub ns_outage_every_hours: u32,
+    /// Length of one NS-outage window, in hours.
+    pub ns_outage_hours: u32,
+    /// Load-coupled degradation of Apple's own CDN: for utilization `u`,
+    /// effective capacity is scaled by `1 / (1 + k * max(0, u - 1))` where
+    /// `k` is this knob (0 disables the coupling).
+    pub apple_degrade_per_load: f64,
+    /// Targeted control-plane kill: entity key whose infrastructure is
+    /// scripted down during `[kill_from, kill_until)`. 0 disables the kill
+    /// (so a zero profile stays inert for every key).
+    pub kill_key: u64,
+    /// Start of the targeted-kill window (seconds since epoch).
+    pub kill_from: SimTime,
+    /// End of the targeted-kill window (exclusive).
+    pub kill_until: SimTime,
+    /// Health-telemetry blackout window start: while
+    /// `[blackout_from, blackout_until)` is in force, *every* health probe
+    /// fails, modelling total loss of the control plane's monitoring.
+    pub blackout_from: SimTime,
+    /// End of the health-telemetry blackout window (exclusive).
+    pub blackout_until: SimTime,
 }
 
 impl FaultProfile {
@@ -138,6 +176,19 @@ impl FaultProfile {
             slow_timeout_ms: 0.0,
             netflow_export_loss: 0.0,
             snmp_gap: 0.0,
+            site_outage_every_hours: 0,
+            site_outage_hours: 0,
+            brownout_every_hours: 0,
+            brownout_hours: 0,
+            brownout_depth: 0.0,
+            ns_outage_every_hours: 0,
+            ns_outage_hours: 0,
+            apple_degrade_per_load: 0.0,
+            kill_key: 0,
+            kill_from: SimTime(0),
+            kill_until: SimTime(0),
+            blackout_from: SimTime(0),
+            blackout_until: SimTime(0),
         }
     }
 
@@ -158,7 +209,45 @@ impl FaultProfile {
             slow_timeout_ms: 5_000.0,
             netflow_export_loss: 0.02,
             snmp_gap: 0.03,
+            ..FaultProfile::none()
         }
+    }
+
+    /// An infrastructure-chaos profile on top of [`FaultProfile::none`]:
+    /// the *measurement* plane stays clean while the *measured* system
+    /// suffers periodic site outages, capacity brownouts, authoritative-NS
+    /// dark windows, and load-coupled degradation of Apple's own CDN.
+    pub const fn infrastructure(seed: u64) -> FaultProfile {
+        FaultProfile {
+            seed,
+            site_outage_every_hours: 48,
+            site_outage_hours: 3,
+            brownout_every_hours: 24,
+            brownout_hours: 4,
+            brownout_depth: 0.5,
+            ns_outage_every_hours: 72,
+            ns_outage_hours: 2,
+            apple_degrade_per_load: 0.3,
+            ..FaultProfile::none()
+        }
+    }
+
+    /// Builder: scripts a targeted control-plane kill of the entity hashed
+    /// to `key` during `[from, until)` — e.g. "kill the Limelight load
+    /// balancer mid-event".
+    pub const fn with_target_kill(mut self, key: u64, from: SimTime, until: SimTime) -> FaultProfile {
+        self.kill_key = key;
+        self.kill_from = from;
+        self.kill_until = until;
+        self
+    }
+
+    /// Builder: scripts a health-telemetry blackout during `[from, until)`,
+    /// in which every health probe fails regardless of actual site state.
+    pub const fn with_blackout(mut self, from: SimTime, until: SimTime) -> FaultProfile {
+        self.blackout_from = from;
+        self.blackout_until = until;
+        self
     }
 
     /// Returns this profile with a different decision seed — used to give
@@ -178,6 +267,33 @@ impl FaultProfile {
             && (self.slow_timeout_ms <= 0.0 || self.latency_median_ms <= 0.0)
             && self.netflow_export_loss <= 0.0
             && self.snmp_gap <= 0.0
+            && !self.has_infrastructure_faults()
+    }
+
+    /// True when any *infrastructure* fault kind (site outage, brownout,
+    /// NS outage, load-coupled degradation, targeted kill, telemetry
+    /// blackout) can ever fire.
+    pub fn has_infrastructure_faults(&self) -> bool {
+        (self.site_outage_every_hours > 0 && self.site_outage_hours > 0)
+            || (self.brownout_every_hours > 0 && self.brownout_hours > 0 && self.brownout_depth > 0.0)
+            || (self.ns_outage_every_hours > 0 && self.ns_outage_hours > 0)
+            || self.apple_degrade_per_load > 0.0
+            || (self.kill_key != 0 && self.kill_until > self.kill_from)
+            || self.blackout_until > self.blackout_from
+    }
+
+    /// Shared window-placement rule: whether `key`'s entity is inside one
+    /// of its pseudo-random fault windows at `now`. Windows are
+    /// `span_hours` long and recur on average every `every_hours`, placed
+    /// per entity so different entities fail at different times.
+    fn in_window(&self, key: u64, now: SimTime, every_hours: u32, span_hours: u32, salt: u64) -> bool {
+        if every_hours == 0 || span_hours == 0 {
+            return false;
+        }
+        let span = span_hours.max(1) as u64;
+        let cycles = (every_hours as u64 / span).max(1);
+        let window = now.0 / 3600 / span;
+        hash_words(&[self.seed, key, window, salt]).is_multiple_of(cycles)
     }
 
     /// Whether `zone_key`'s zone is inside a lame-delegation window at
@@ -185,13 +301,56 @@ impl FaultProfile {
     /// `lame_every_hours`, and are placed pseudo-randomly per zone so
     /// different zones go lame at different times.
     pub fn zone_is_lame(&self, zone_key: u64, now: SimTime) -> bool {
-        if self.lame_every_hours == 0 || self.lame_hours == 0 {
-            return false;
+        self.in_window(zone_key, now, self.lame_every_hours, self.lame_hours, 0x1a3e)
+    }
+
+    /// Whether the entity hashed to `key` is inside its scripted
+    /// targeted-kill window at `now`.
+    pub fn target_killed(&self, key: u64, now: SimTime) -> bool {
+        self.kill_key != 0 && key == self.kill_key && now >= self.kill_from && now < self.kill_until
+    }
+
+    /// Whether the health-telemetry blackout is in force at `now`.
+    pub fn health_blackout(&self, now: SimTime) -> bool {
+        now >= self.blackout_from && now < self.blackout_until
+    }
+
+    /// Whether the CDN site hashed to `site_key` is fully down at `now`
+    /// (pseudo-random outage window or scripted targeted kill).
+    pub fn site_is_down(&self, site_key: u64, now: SimTime) -> bool {
+        self.target_killed(site_key, now)
+            || self.in_window(site_key, now, self.site_outage_every_hours, self.site_outage_hours, 0x51fe)
+    }
+
+    /// The fraction of its modeled capacity the site hashed to `site_key`
+    /// retains at `now`: 0 while down, `1 - brownout_depth` inside a
+    /// brownout window, 1 otherwise.
+    pub fn site_capacity_factor(&self, site_key: u64, now: SimTime) -> f64 {
+        if self.site_is_down(site_key, now) {
+            return 0.0;
         }
-        let span = self.lame_hours.max(1) as u64;
-        let cycles = (self.lame_every_hours as u64 / span).max(1);
-        let window = now.0 / 3600 / span;
-        hash_words(&[self.seed, zone_key, window, 0x1a3e]).is_multiple_of(cycles)
+        if self.in_window(site_key, now, self.brownout_every_hours, self.brownout_hours, 0xb0bf) {
+            (1.0 - self.brownout_depth).clamp(0.0, 1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// Whether the authoritative NS for the zone hashed to `zone_key` is
+    /// dark (unreachable — queries time out) at `now`.
+    pub fn ns_is_dark(&self, zone_key: u64, now: SimTime) -> bool {
+        self.target_killed(zone_key, now)
+            || self.in_window(zone_key, now, self.ns_outage_every_hours, self.ns_outage_hours, 0xd4a7)
+    }
+
+    /// Load-coupled degradation of Apple's own CDN: the capacity factor at
+    /// candidate utilization `util` (1 at or below capacity, shrinking as
+    /// overload deepens when `apple_degrade_per_load` is set).
+    pub fn apple_load_factor(&self, util: f64) -> f64 {
+        if self.apple_degrade_per_load <= 0.0 {
+            return 1.0;
+        }
+        1.0 / (1.0 + self.apple_degrade_per_load * (util - 1.0).max(0.0))
     }
 
     /// The fault, if any, suffered by one upstream query.
@@ -339,13 +498,129 @@ mod tests {
     fn none_profile_never_faults() {
         let p = FaultProfile::none();
         assert!(p.is_quiet());
+        assert!(!p.has_infrastructure_faults());
         for i in 0..2_000u64 {
             let t = SimTime(i * 311);
             assert!(p.upstream_fault(i, i ^ 0xabc, (i % 5) as u32, t, 3.0).is_none());
             assert!(!p.netflow_export_lost(i, i ^ 1, t));
             assert!(!p.snmp_poll_missed(i, t));
             assert!(!p.zone_is_lame(i, t));
+            assert!(!p.site_is_down(i, t));
+            assert_eq!(p.site_capacity_factor(i, t), 1.0);
+            assert!(!p.ns_is_dark(i, t));
+            assert!(!p.target_killed(i, t));
+            assert!(!p.health_blackout(t));
+            assert_eq!(p.apple_load_factor(5.0), 1.0);
         }
+    }
+
+    #[test]
+    fn site_outage_windows_cover_expected_fraction() {
+        let p = FaultProfile {
+            site_outage_every_hours: 48,
+            site_outage_hours: 3,
+            ..FaultProfile::none()
+        }
+        .with_seed(21);
+        assert!(p.has_infrastructure_faults());
+        assert!(!p.is_quiet());
+        let hours = 24 * 365;
+        let down = (0..hours).filter(|&h| p.site_is_down(9, SimTime(h * 3600))).count();
+        let frac = down as f64 / hours as f64;
+        // Expect roughly site_outage_hours / site_outage_every_hours ≈ 6 %.
+        assert!((0.01..0.15).contains(&frac), "outage fraction {frac}");
+        // Down sites retain no capacity.
+        for h in 0..hours {
+            let t = SimTime(h * 3600);
+            if p.site_is_down(9, t) {
+                assert_eq!(p.site_capacity_factor(9, t), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn brownouts_scale_capacity_without_killing_the_site() {
+        let p = FaultProfile {
+            brownout_every_hours: 12,
+            brownout_hours: 4,
+            brownout_depth: 0.6,
+            ..FaultProfile::none()
+        }
+        .with_seed(22);
+        let hours = 24 * 90;
+        let mut browned = 0;
+        for h in 0..hours {
+            let t = SimTime(h * 3600);
+            assert!(!p.site_is_down(33, t), "brownout alone never takes a site down");
+            let f = p.site_capacity_factor(33, t);
+            assert!(f == 1.0 || (f - 0.4).abs() < 1e-12, "factor {f}");
+            if f < 1.0 {
+                browned += 1;
+            }
+        }
+        assert!(browned > 0, "brownout windows must occur");
+    }
+
+    #[test]
+    fn ns_outage_windows_are_independent_of_site_outages() {
+        let p = FaultProfile {
+            site_outage_every_hours: 24,
+            site_outage_hours: 2,
+            ns_outage_every_hours: 24,
+            ns_outage_hours: 2,
+            ..FaultProfile::none()
+        }
+        .with_seed(7);
+        let hours = 24 * 180;
+        let mut differs = false;
+        for h in 0..hours {
+            let t = SimTime(h * 3600);
+            if p.ns_is_dark(5, t) != p.site_is_down(5, t) {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs, "NS and site windows must be decorrelated for the same key");
+    }
+
+    #[test]
+    fn targeted_kill_hits_only_its_key_and_window() {
+        let from = SimTime(1_000);
+        let until = SimTime(2_000);
+        let p = FaultProfile::none().with_target_kill(42, from, until);
+        assert!(p.has_infrastructure_faults());
+        assert!(p.target_killed(42, SimTime(1_000)));
+        assert!(p.site_is_down(42, SimTime(1_500)));
+        assert!(p.ns_is_dark(42, SimTime(1_500)));
+        assert!(!p.target_killed(42, SimTime(2_000)), "window end is exclusive");
+        assert!(!p.target_killed(42, SimTime(999)));
+        assert!(!p.target_killed(41, SimTime(1_500)), "other keys unaffected");
+        // Key 0 means "disabled", even with a window set.
+        let off = FaultProfile::none().with_target_kill(0, from, until);
+        assert!(!off.target_killed(0, SimTime(1_500)));
+        assert!(!off.has_infrastructure_faults());
+    }
+
+    #[test]
+    fn blackout_window_and_load_factor() {
+        let p = FaultProfile::none().with_blackout(SimTime(100), SimTime(200));
+        assert!(p.health_blackout(SimTime(150)));
+        assert!(!p.health_blackout(SimTime(200)));
+        assert!(!p.health_blackout(SimTime(99)));
+        let d = FaultProfile { apple_degrade_per_load: 0.5, ..FaultProfile::none() };
+        assert_eq!(d.apple_load_factor(0.5), 1.0, "no degradation below capacity");
+        assert_eq!(d.apple_load_factor(1.0), 1.0);
+        assert!((d.apple_load_factor(3.0) - 0.5).abs() < 1e-12, "1/(1+0.5*2)");
+    }
+
+    #[test]
+    fn infrastructure_preset_leaves_measurement_plane_clean() {
+        let p = FaultProfile::infrastructure(3);
+        assert!(p.has_infrastructure_faults());
+        assert_eq!(p.query_loss, 0.0);
+        assert_eq!(p.netflow_export_loss, 0.0);
+        assert_eq!(p.snmp_gap, 0.0);
+        assert!(p.upstream_fault(1, 2, 0, SimTime(1_505_000_000), 0.9).is_none());
     }
 
     #[test]

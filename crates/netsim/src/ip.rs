@@ -165,6 +165,19 @@ impl<T> PrefixTrie<T> {
         best
     }
 
+    /// Removes the exact entry at `prefix`, returning its value. The trie
+    /// nodes stay allocated (harmless; the RIB holds a few hundred routes),
+    /// but lookups immediately stop matching — this is the mechanism behind
+    /// anycast/BGP route withdrawal in the chaos layer.
+    pub fn remove(&mut self, prefix: &Ipv4Net) -> Option<T> {
+        let addr = u32::from(prefix.network());
+        let mut node = 0usize;
+        for depth in 0..prefix.prefix_len() {
+            node = self.nodes[node].children[Self::bit(addr, depth)]? as usize;
+        }
+        self.nodes[node].value.take()
+    }
+
     /// Number of stored prefixes.
     pub fn len(&self) -> usize {
         self.nodes.iter().filter(|n| n.value.is_some()).count()
@@ -255,6 +268,23 @@ mod tests {
         assert_eq!(trie.get(&net("10.0.0.0/8")), Some(&8));
         assert_eq!(trie.get(&net("10.0.0.0/16")), Some(&16));
         assert_eq!(trie.get(&net("10.0.0.0/24")), None);
+    }
+
+    #[test]
+    fn trie_remove_withdraws_only_the_exact_prefix() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(net("17.0.0.0/8"), "agg");
+        trie.insert(net("17.253.0.0/16"), "cdn");
+        assert_eq!(trie.remove(&net("17.253.0.0/16")), Some("cdn"));
+        // The covering /8 still matches — withdrawal falls back, not black-holes.
+        assert_eq!(trie.lookup(ip("17.253.1.1")), Some((8, &"agg")));
+        assert_eq!(trie.len(), 1);
+        // Removing an absent or already-removed prefix is a no-op.
+        assert_eq!(trie.remove(&net("17.253.0.0/16")), None);
+        assert_eq!(trie.remove(&net("99.0.0.0/8")), None);
+        // Re-announce restores the specific route.
+        trie.insert(net("17.253.0.0/16"), "cdn");
+        assert_eq!(trie.lookup(ip("17.253.1.1")), Some((16, &"cdn")));
     }
 
     #[test]

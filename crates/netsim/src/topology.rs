@@ -132,6 +132,21 @@ impl Topology {
         self.prefixes.entry(origin).or_default().push(prefix);
     }
 
+    /// Withdraws `prefix` if it is currently originated by `origin`,
+    /// returning whether a route was removed. Traffic to the prefix then
+    /// falls back to any covering announcement (or becomes unroutable) —
+    /// the BGP-withdrawal half of an anycast failure.
+    pub fn withdraw(&mut self, origin: AsId, prefix: Ipv4Net) -> bool {
+        if self.rib.get(&prefix) != Some(&origin) {
+            return false;
+        }
+        self.rib.remove(&prefix);
+        if let Some(v) = self.prefixes.get_mut(&origin) {
+            v.retain(|p| *p != prefix);
+        }
+        true
+    }
+
     /// The origin AS of `ip` per longest-prefix match, if any.
     pub fn origin_of(&self, ip: Ipv4Addr) -> Option<AsId> {
         self.rib.lookup(ip).map(|(_, asn)| *asn)
@@ -282,6 +297,29 @@ mod tests {
     fn duplicate_as_panics() {
         let mut t = base();
         t.add_as(AsInfo { id: AsId(1), name: "dup".into(), kind: AsKind::Transit, location: coord() });
+    }
+
+    #[test]
+    fn withdraw_removes_route_and_falls_back() {
+        let mut t = base();
+        let agg = Ipv4Net::parse("23.0.0.0/12").unwrap();
+        let specific = Ipv4Net::parse("23.1.0.0/16").unwrap();
+        t.announce(AsId(3), agg);
+        t.announce(AsId(3), specific);
+        let ip: Ipv4Addr = "23.1.2.3".parse().unwrap();
+        assert_eq!(t.origin_of(ip), Some(AsId(3)));
+        // Wrong origin cannot withdraw someone else's route.
+        assert!(!t.withdraw(AsId(2), specific));
+        assert!(t.withdraw(AsId(3), specific));
+        // Falls back to the covering aggregate; prefix list is updated.
+        assert_eq!(t.origin_of(ip), Some(AsId(3)));
+        assert_eq!(t.prefixes_of(AsId(3)), &[agg]);
+        assert_eq!(t.rib_size(), 1);
+        // Withdrawing the aggregate makes the space unroutable.
+        assert!(t.withdraw(AsId(3), agg));
+        assert_eq!(t.origin_of(ip), None);
+        // Second withdrawal of a gone route is a no-op.
+        assert!(!t.withdraw(AsId(3), agg));
     }
 
     #[test]

@@ -93,6 +93,13 @@ impl FaultModel for CampaignFaults<'_> {
         }
         let load = self.zone_load(zone, ctx.region());
         let zone_key = fnv64(zone.to_string().as_bytes());
+        // A dark authoritative NS (infrastructure outage or targeted kill)
+        // times out every attempt while the window lasts: resolvers retry,
+        // exhaust their budget, and report a transient failure — they never
+        // hang, which the chaos sweep asserts as the DNS-liveness invariant.
+        if self.profile.ns_is_dark(zone_key, ctx.now) {
+            return Some(UpstreamFault::Timeout);
+        }
         let mut query_bytes = qname.to_string().into_bytes();
         query_bytes.extend_from_slice(&ctx.client_ip.octets());
         let query_key = fnv64(&query_bytes);

@@ -17,6 +17,9 @@
 //!   shares → Apple utilization → effective shares → third-party pool loads.
 //! * [`dnscampaign`] — the RIPE-Atlas-style DNS campaigns (global and
 //!   in-ISP) producing unique-IP series and the DNS-observed IP↔CDN map.
+//! * [`chaos`] — the infrastructure chaos-sweep harness: seeded CDN/NS
+//!   failure scenarios driven against the health-checked failover of the
+//!   mapping state, with per-tick invariant audits.
 //! * [`traffic`] — the ISP border telemetry simulation: flows over BGP
 //!   paths onto capacity-limited peering links, NetFlow sampling, SNMP.
 //! * [`timeline()`] — the Figure 1 measurement calendar.
@@ -29,6 +32,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bgpfeed;
+pub mod chaos;
 pub mod classes;
 pub mod config;
 pub mod dnscampaign;
@@ -40,6 +44,10 @@ pub mod tracecampaign;
 pub mod traffic;
 pub mod world;
 
+pub use chaos::{
+    allocate_demand, check_invariants, control_key, run_chaos, run_chaos_sweep, standard_grid,
+    ChaosRunResult, ChaosScenario, DemandAllocation, InvariantViolation, TickAudit,
+};
 pub use classes::CdnClass;
 pub use config::{LinkSelection, ScenarioConfig};
 pub use dnscampaign::{run_global_dns, run_isp_dns, CampaignFaults, DnsCampaignResult};

@@ -62,6 +62,14 @@ pub enum WorldBuildError {
     /// A continent needed for probe or cache placement has no registered
     /// cities.
     EmptyContinent(Continent),
+    /// The weight schedule can send clients to a CDN that has no serving
+    /// addresses in the region — those answers would NXDOMAIN at runtime.
+    EmptyCdnPool {
+        /// The scheduled CDN.
+        kind: metacdn::CdnKind,
+        /// The region whose pool is empty.
+        region: Region,
+    },
 }
 
 impl std::fmt::Display for WorldBuildError {
@@ -71,11 +79,31 @@ impl std::fmt::Display for WorldBuildError {
             WorldBuildError::UnknownCity(s) => write!(f, "locode {s:?} is not in the city registry"),
             WorldBuildError::BadPrefix(s) => write!(f, "invalid IPv4 prefix {s:?}"),
             WorldBuildError::EmptyContinent(c) => write!(f, "no registered cities on {c}"),
+            WorldBuildError::EmptyCdnPool { kind, region } => {
+                write!(f, "schedule sends {region:?} clients to {kind:?}, which has no addresses there")
+            }
         }
     }
 }
 
 impl std::error::Error for WorldBuildError {}
+
+/// Checks that every CDN the schedule can ever select in a region has at
+/// least one serving address there. `pool_size` reports the configured
+/// address count per (kind, region).
+fn validate_cdn_pools(
+    schedule: &metacdn::Schedule,
+    pool_size: impl Fn(metacdn::CdnKind, Region) -> usize,
+) -> Result<(), WorldBuildError> {
+    for region in [Region::Us, Region::Eu, Region::Apac] {
+        for kind in metacdn::CdnKind::ALL {
+            if schedule.ever_uses_in(region, kind) && pool_size(kind, region) == 0 {
+                return Err(WorldBuildError::EmptyCdnPool { kind, region });
+            }
+        }
+    }
+    Ok(())
+}
 
 fn city(code: &str) -> Result<&'static City, WorldBuildError> {
     let loc = Locode::parse(code).ok_or_else(|| WorldBuildError::BadLocode(code.to_string()))?;
@@ -322,6 +350,12 @@ impl World {
         } else {
             params::weight_schedule()
         };
+        validate_cdn_pools(&schedule, |kind, region| match kind {
+            metacdn::CdnKind::Apple => apple.sites().len(),
+            metacdn::CdnKind::Akamai => akamai.pool_size(region),
+            metacdn::CdnKind::Limelight => limelight.pool_size(region),
+            metacdn::CdnKind::Level3 => level3.as_ref().map_or(0, |l| l.pool_size(region)),
+        })?;
         let state = Arc::new(MetaCdnState::new(schedule));
         let meta_cfg = MetaCdnConfig {
             state: Arc::clone(&state),
@@ -554,6 +588,35 @@ mod tests {
         assert_eq!(net("300.0.0.0/8").unwrap_err(), WorldBuildError::BadPrefix("300.0.0.0/8".into()));
         let msg = WorldBuildError::UnknownCity("zzzzz".into()).to_string();
         assert!(msg.contains("zzzzz"), "error display names the offending code: {msg}");
+    }
+
+    #[test]
+    fn scheduled_cdn_with_empty_pool_is_rejected() {
+        use metacdn::{CdnKind, CdnShare, Schedule};
+        let share = CdnShare { apple: 0.5, akamai: 0.3, limelight: 0.2, level3: 0.0 };
+        let sizes = |kind: CdnKind, _region: Region| match kind {
+            CdnKind::Apple => 40,
+            CdnKind::Akamai => 100,
+            CdnKind::Limelight => 0, // scheduled but has no addresses
+            CdnKind::Level3 => 0,
+        };
+        let err = validate_cdn_pools(&Schedule::constant(share), sizes).unwrap_err();
+        assert_eq!(err, WorldBuildError::EmptyCdnPool { kind: CdnKind::Limelight, region: Region::Us });
+        assert!(err.to_string().contains("Limelight"));
+        // Zero weight for the empty CDN passes — the pool is never asked.
+        let quiet = CdnShare { apple: 0.8, akamai: 0.2, limelight: 0.0, level3: 0.0 };
+        assert!(validate_cdn_pools(&Schedule::constant(quiet), sizes).is_ok());
+        // A breakpoint that later turns Limelight on is also caught.
+        let s = Schedule::constant(quiet).with(
+            Region::Eu,
+            params::release(),
+            quiet.with_weight(CdnKind::Limelight, 0.4),
+        );
+        let err = validate_cdn_pools(&s, sizes).unwrap_err();
+        assert_eq!(err, WorldBuildError::EmptyCdnPool { kind: CdnKind::Limelight, region: Region::Eu });
+        // The shipped schedules validate against the real pool sizes.
+        let w = world();
+        assert!(w.akamai.pool_size(Region::Eu) > 0 && w.limelight.pool_size(Region::Apac) > 0);
     }
 
     #[test]

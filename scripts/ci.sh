@@ -26,4 +26,11 @@ cargo run --release -q -p mcdn-analysis --bin mcdn -- campaign global > "$tmpdir
 diff -u "$tmpdir/run1.txt" "$tmpdir/run2.txt"
 echo "    identical ($(wc -l < "$tmpdir/run1.txt") lines)"
 
+echo "==> chaos sweep: invariants hold, faulted runs replay bit-identically"
+cargo run --release -q --example chaos_sweep > "$tmpdir/chaos1.txt"
+cargo run --release -q --example chaos_sweep > "$tmpdir/chaos2.txt"
+diff -u "$tmpdir/chaos1.txt" "$tmpdir/chaos2.txt"
+grep -q "all invariants held across the grid" "$tmpdir/chaos1.txt"
+echo "    identical ($(wc -l < "$tmpdir/chaos1.txt") lines)"
+
 echo "CI OK"

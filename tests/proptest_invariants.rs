@@ -196,6 +196,35 @@ proptest! {
         }
     }
 
+    /// Chaos demand allocation conserves demand exactly and never serves a
+    /// CDN past its capacity or a negative amount, for arbitrary (even
+    /// denormalized) shares, capacities, and demand.
+    #[test]
+    fn chaos_allocation_conserves_demand(
+        weights in proptest::collection::vec(-0.5f64..2.0, 4),
+        caps in proptest::collection::vec(-1e9f64..1e12, 4),
+        demand in 0.0f64..1e12,
+    ) {
+        use metacdn_suite::core::CdnKind;
+        use metacdn_suite::scenario::allocate_demand;
+        let share: Vec<(CdnKind, f64)> =
+            CdnKind::ALL.into_iter().zip(weights).collect();
+        let capacity: Vec<(CdnKind, f64)> =
+            CdnKind::ALL.into_iter().zip(caps).collect();
+        let alloc = allocate_demand(&share, &capacity, demand);
+        let served: f64 = alloc.served.iter().map(|(_, s)| s).sum();
+        prop_assert!(
+            (served + alloc.shed_bps - demand).abs() <= 1e-9 * demand.max(1.0),
+            "conservation: served {served} + shed {} != demand {demand}",
+            alloc.shed_bps
+        );
+        for (kind, s) in &alloc.served {
+            prop_assert!(*s >= 0.0, "{kind} served a negative amount");
+            let cap = capacity.iter().find(|(k, _)| k == kind).map(|(_, c)| c.max(0.0)).unwrap();
+            prop_assert!(*s <= cap + 1e-9 * cap.max(1.0), "{kind} over capacity");
+        }
+    }
+
     /// LOCODE parse/format round trip for arbitrary five-letter codes.
     #[test]
     fn locode_roundtrip(s in "[a-z]{5}") {
