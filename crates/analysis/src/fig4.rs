@@ -114,6 +114,8 @@ mod tests {
                 resolutions: 0,
                 attempts: 0,
                 retry_exhausted: 0,
+                memo_lookups: 0,
+                memo_hits: 0,
             },
             release,
         )

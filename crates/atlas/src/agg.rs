@@ -14,7 +14,7 @@ use std::net::Ipv4Addr;
 ///
 /// `G` is the spatial grouping (e.g. [`mcdn_geo::Continent`]), `L` the CDN
 /// class label. Both must be orderable so series iterate deterministically.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UniqueIpAggregator<G, L> {
     bin: Duration,
     sets: BTreeMap<(SimTime, G, L), HashSet<Ipv4Addr>>,
@@ -69,6 +69,17 @@ where
             }
         }
         all.len()
+    }
+
+    /// Merges another aggregator's observations into this one. Set union
+    /// per cell is commutative and associative, so merging shard-local
+    /// aggregates — in any order — equals recording every observation into
+    /// one aggregator. Both sides must use the same bin width.
+    pub fn merge(&mut self, other: UniqueIpAggregator<G, L>) {
+        assert_eq!(self.bin, other.bin, "cannot merge aggregators with different bins");
+        for (key, set) in other.sets {
+            self.sets.entry(key).or_default().extend(set);
+        }
     }
 
     /// The configured bin width.
@@ -150,6 +161,27 @@ mod tests {
         agg.record(t0 + Duration::hours(2), 0, 0, ip(2));
         assert_eq!(agg.total_unique(0, 0), 2);
         assert_eq!(agg.total_unique(0, 1), 0);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let t = SimTime::from_ymd(2017, 9, 19);
+        let obs = [(0u8, 0u8, 1u32), (0, 0, 2), (1, 0, 1), (0, 1, 3), (0, 0, 1)];
+        let mut whole: UniqueIpAggregator<u8, u8> = UniqueIpAggregator::new(Duration::hours(1));
+        for (g, l, n) in obs {
+            whole.record(t, g, l, ip(n));
+        }
+        for split in 0..obs.len() {
+            let mut left: UniqueIpAggregator<u8, u8> = UniqueIpAggregator::new(Duration::hours(1));
+            let mut right: UniqueIpAggregator<u8, u8> =
+                UniqueIpAggregator::new(Duration::hours(1));
+            for (i, (g, l, n)) in obs.iter().enumerate() {
+                let target = if i < split { &mut left } else { &mut right };
+                target.record(t, *g, *l, ip(*n));
+            }
+            left.merge(right);
+            assert_eq!(left, whole, "split at {split}");
+        }
     }
 
     #[test]

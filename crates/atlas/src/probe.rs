@@ -2,6 +2,7 @@
 
 use mcdn_dnssim::{
     FaultModel, Namespace, QueryContext, RecursiveResolver, ResolutionError, ResolutionTrace,
+    RoundMemo,
 };
 use mcdn_dnswire::{Name, RecordType};
 use mcdn_faults::RetryPolicy;
@@ -79,13 +80,50 @@ impl Probe {
         faults: &dyn FaultModel,
         retry: &RetryPolicy,
     ) -> MeasureOutcome {
+        self.measure_impl(ns, qname, qtype, now, faults, retry, None)
+    }
+
+    /// Like [`Probe::measure_with`], threading a per-round
+    /// [`RoundMemo`] through every resolution so scope-stable zone answers
+    /// are replayed rather than re-derived. Bit-identical to
+    /// [`Probe::measure_with`] (the memo only replays answers whose zones
+    /// declared them scope-stable, and faulted queries bypass it).
+    #[allow(clippy::too_many_arguments)] // the memo-bearing superset of measure_with
+    pub fn measure_memoized(
+        &mut self,
+        ns: &Namespace,
+        qname: &Name,
+        qtype: RecordType,
+        now: SimTime,
+        faults: &dyn FaultModel,
+        retry: &RetryPolicy,
+        memo: &mut RoundMemo,
+    ) -> MeasureOutcome {
+        self.measure_impl(ns, qname, qtype, now, faults, retry, Some(memo))
+    }
+
+    #[allow(clippy::too_many_arguments)] // private driver behind the two entry points
+    fn measure_impl(
+        &mut self,
+        ns: &Namespace,
+        qname: &Name,
+        qtype: RecordType,
+        now: SimTime,
+        faults: &dyn FaultModel,
+        retry: &RetryPolicy,
+        mut memo: Option<&mut RoundMemo>,
+    ) -> MeasureOutcome {
         let mut wait = Duration::secs(0);
         let max = retry.max_attempts.max(1);
         for attempt in 0..max {
             wait = wait + retry.backoff_before(attempt);
-            let (trace, result) =
-                self.resolver
-                    .resolve_with(ns, qname, qtype, &self.context(now + wait), faults, attempt);
+            let ctx = self.context(now + wait);
+            let (trace, result) = match memo.as_deref_mut() {
+                Some(m) => {
+                    self.resolver.resolve_memoized(ns, qname, qtype, &ctx, faults, attempt, m)
+                }
+                None => self.resolver.resolve_with(ns, qname, qtype, &ctx, faults, attempt),
+            };
             let retryable = matches!(&result, Err(e) if e.is_transient());
             if !retryable || attempt + 1 == max {
                 return MeasureOutcome { trace, result, attempts: attempt + 1 };

@@ -1,0 +1,222 @@
+//! The campaign-engine benchmark trajectory: runs the DNS campaigns and
+//! the traffic simulation at several worker counts, checks the outputs
+//! are bit-identical, and writes `BENCH_campaigns.json` with wall times,
+//! resolution throughput, memo hit rates, and per-thread-count speedups.
+//!
+//! Usage: `bench_campaigns [--smoke] [OUT.json]`. `--smoke` shrinks the
+//! workload for CI gating; the default output path is
+//! `BENCH_campaigns.json` in the working directory.
+
+use mcdn_geo::{Duration, SimTime};
+use mcdn_scenario::{
+    run_global_dns_threads, run_isp_dns_threads, run_isp_traffic_threads, ScenarioConfig, World,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Wall time and throughput of one run at one worker count.
+struct Run {
+    threads: usize,
+    wall_ms: f64,
+    per_sec: f64,
+}
+
+/// One benched campaign: canonical counters plus per-thread-count runs.
+struct Bench {
+    name: &'static str,
+    units: &'static str,
+    work: u64,
+    memo_lookups: u64,
+    memo_hits: u64,
+    runs: Vec<Run>,
+    identical: bool,
+}
+
+fn bench_cfg(smoke: bool) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::fast();
+    cfg.global_probes = if smoke { 40 } else { 150 };
+    cfg.isp_probes = if smoke { 30 } else { 80 };
+    cfg.global_dns_interval = if smoke { Duration::hours(2) } else { Duration::mins(30) };
+    cfg.global_start = SimTime::from_ymd(2017, 9, 18);
+    cfg.global_end = SimTime::from_ymd(2017, 9, if smoke { 20 } else { 21 });
+    cfg.isp_start = SimTime::from_ymd(2017, 9, 16);
+    cfg.isp_end = SimTime::from_ymd(2017, 9, 22);
+    cfg.traffic_start = SimTime::from_ymd(2017, 9, 18);
+    cfg.traffic_end = SimTime::from_ymd(2017, 9, if smoke { 19 } else { 21 });
+    cfg.traffic_tick = if smoke { Duration::hours(1) } else { Duration::mins(30) };
+    cfg
+}
+
+fn thread_counts() -> Vec<usize> {
+    let native = mcdn_exec::thread_count();
+    let mut counts = vec![1, 2, native.max(4)];
+    counts.dedup();
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Times `run` at each worker count against a fresh world, returning the
+/// per-count wall clocks and whether every output matched the serial one.
+fn bench_campaign<R, F>(
+    cfg: &ScenarioConfig,
+    counts: &[usize],
+    run: F,
+) -> (Vec<Run>, bool, Vec<R>)
+where
+    R: PartialEq,
+    F: Fn(&World, &ScenarioConfig, usize) -> (u64, R),
+{
+    let mut runs = Vec::new();
+    let mut outputs: Vec<R> = Vec::new();
+    for &threads in counts {
+        // A fresh world per run: campaigns advance the controller's load
+        // history, so sharing one would let an earlier run warm state for
+        // a later one.
+        let world = World::build(cfg);
+        let start = Instant::now();
+        let (work, out) = run(&world, cfg, threads);
+        let wall = start.elapsed();
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        runs.push(Run {
+            threads,
+            wall_ms,
+            per_sec: if wall_ms > 0.0 { work as f64 / (wall_ms / 1e3) } else { 0.0 },
+        });
+        outputs.push(out);
+    }
+    let identical = outputs.windows(2).all(|w| w[0] == w[1]);
+    (runs, identical, outputs)
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // Every string we emit is a static identifier; keep the writer honest.
+    assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || "_-./".contains(c)));
+    s
+}
+
+fn write_json(out: &mut String, smoke: bool, counts: &[usize], benches: &[Bench]) {
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"mcdn-bench-campaigns-v1\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let counts_s: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
+    let _ = writeln!(out, "  \"thread_counts\": [{}],", counts_s.join(", "));
+    let _ = writeln!(out, "  \"campaigns\": [");
+    for (i, b) in benches.iter().enumerate() {
+        let serial = b.runs.first().map(|r| r.wall_ms).unwrap_or(0.0);
+        let hit_rate = if b.memo_lookups > 0 {
+            b.memo_hits as f64 / b.memo_lookups as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", json_escape_free(b.name));
+        let _ = writeln!(out, "      \"units\": \"{}\",", json_escape_free(b.units));
+        let _ = writeln!(out, "      \"work\": {},", b.work);
+        let _ = writeln!(out, "      \"memo_lookups\": {},", b.memo_lookups);
+        let _ = writeln!(out, "      \"memo_hits\": {},", b.memo_hits);
+        let _ = writeln!(out, "      \"memo_hit_rate\": {hit_rate:.4},");
+        let _ = writeln!(out, "      \"identical_across_threads\": {},", b.identical);
+        let _ = writeln!(out, "      \"runs\": [");
+        for (j, r) in b.runs.iter().enumerate() {
+            let speedup = if r.wall_ms > 0.0 { serial / r.wall_ms } else { 0.0 };
+            let _ = write!(
+                out,
+                "        {{\"threads\": {}, \"wall_ms\": {:.3}, \"{}_per_sec\": {:.1}, \"speedup_vs_serial\": {:.3}}}",
+                r.threads,
+                r.wall_ms,
+                json_escape_free(b.units),
+                r.per_sec,
+                speedup,
+            );
+            let _ = writeln!(out, "{}", if j + 1 < b.runs.len() { "," } else { "" });
+        }
+        let _ = writeln!(out, "      ]");
+        let _ = writeln!(out, "    }}{}", if i + 1 < benches.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_campaigns.json".to_string());
+    let cfg = bench_cfg(smoke);
+    let counts = thread_counts();
+    eprintln!("bench_campaigns: thread counts {counts:?}, smoke={smoke}");
+
+    let mut benches = Vec::new();
+
+    let (runs, identical, outs) = bench_campaign(&cfg, &counts, |world, cfg, threads| {
+        let r = run_global_dns_threads(world, cfg, threads);
+        (r.resolutions, r)
+    });
+    let first = &outs[0];
+    benches.push(Bench {
+        name: "global_dns",
+        units: "resolutions",
+        work: first.resolutions,
+        memo_lookups: first.memo_lookups,
+        memo_hits: first.memo_hits,
+        runs,
+        identical,
+    });
+
+    let (runs, identical, outs) = bench_campaign(&cfg, &counts, |world, cfg, threads| {
+        let r = run_isp_dns_threads(world, cfg, threads);
+        (r.resolutions, r)
+    });
+    let first = &outs[0];
+    benches.push(Bench {
+        name: "isp_dns",
+        units: "resolutions",
+        work: first.resolutions,
+        memo_lookups: first.memo_lookups,
+        memo_hits: first.memo_hits,
+        runs,
+        identical,
+    });
+
+    let (runs, identical, outs) = bench_campaign(&cfg, &counts, |world, cfg, threads| {
+        let r = run_isp_traffic_threads(world, cfg, threads);
+        (r.flows.len() as u64, r)
+    });
+    let first = &outs[0];
+    benches.push(Bench {
+        name: "isp_traffic",
+        units: "flows",
+        work: first.flows.len() as u64,
+        memo_lookups: 0,
+        memo_hits: 0,
+        runs,
+        identical,
+    });
+
+    let all_identical = benches.iter().all(|b| b.identical);
+    let mut json = String::new();
+    write_json(&mut json, smoke, &counts, &benches);
+    std::fs::write(&out_path, &json).expect("write BENCH json");
+    for b in &benches {
+        let serial = b.runs.first().map(|r| r.wall_ms).unwrap_or(0.0);
+        let best = b.runs.iter().skip(1).map(|r| r.wall_ms).fold(f64::INFINITY, f64::min);
+        eprintln!(
+            "  {:<12} work={:<7} serial={:.1}ms best-parallel={:.1}ms memo-hit-rate={:.2} identical={}",
+            b.name,
+            b.work,
+            serial,
+            if best.is_finite() { best } else { serial },
+            if b.memo_lookups > 0 { b.memo_hits as f64 / b.memo_lookups as f64 } else { 0.0 },
+            b.identical,
+        );
+    }
+    eprintln!("bench_campaigns: wrote {out_path}");
+    if !all_identical {
+        eprintln!("bench_campaigns: FAIL — outputs differ across thread counts");
+        std::process::exit(1);
+    }
+}

@@ -50,5 +50,8 @@ pub use graph::{mapping_graph, GraphEdge, Operator};
 pub use health::{HealthParams, HealthTracker, HealthTransition};
 pub use kinds::CdnKind;
 pub use policy::{CdnShare, Schedule};
-pub use state::{pick_weighted, MetaCdnState, StateSnapshot, A1015_LAG, AKAMAI_OVERLOAD_THRESHOLD};
+pub use state::{
+    install_snapshot, pick_weighted, MappingSnapshot, MetaCdnState, SnapshotGuard, StateSnapshot,
+    A1015_LAG, AKAMAI_OVERLOAD_THRESHOLD,
+};
 pub use zones::{build_namespace, MetaCdnConfig};

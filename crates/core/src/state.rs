@@ -30,9 +30,12 @@ use crate::kinds::CdnKind;
 use crate::policy::{CdnShare, Schedule};
 use mcdn_cdn::site::fnv64;
 use mcdn_geo::{Duration, Region, SimTime};
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+use std::marker::PhantomData;
 use std::net::Ipv4Addr;
-use std::sync::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Akamai load (0..1) that triggers spinning up the additional map.
 pub const AKAMAI_OVERLOAD_THRESHOLD: f64 = 0.5;
@@ -45,7 +48,7 @@ const A1015_RETIRE_BELOW: f64 = 0.2;
 /// Selection decisions re-randomize with the selector TTL.
 const SELECT_BUCKET_SECS: u64 = 15;
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Inner {
     apple_util: HashMap<Region, f64>,
     cdn_load: HashMap<(CdnKind, Region), f64>,
@@ -65,8 +68,60 @@ struct Inner {
 /// Shared controller state (thread-safe; policies hold `Arc<MetaCdnState>`).
 #[derive(Debug)]
 pub struct MetaCdnState {
+    /// Distinguishes states so an installed [`MappingSnapshot`] can never
+    /// serve reads of a *different* state (e.g. two worlds in one test).
+    state_id: u64,
     schedule: Schedule,
     inner: RwLock<Inner>,
+}
+
+static NEXT_STATE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// An immutable point-in-time copy of the controller's mutable mapping
+/// inputs (loads, health verdicts, capacity factors, a1015 activation,
+/// down sites), captured once per campaign round with
+/// [`MetaCdnState::capture`].
+///
+/// While a snapshot is [installed](install_snapshot) on a thread, every
+/// read of the originating state on that thread is served lock-free from
+/// the copy — the parallel engine's workers share one `Arc<MappingSnapshot>`
+/// per round and never touch the `RwLock`, making their reads race-free by
+/// construction. Writes (`set_*`) always go to the live state and become
+/// visible only to the *next* captured snapshot, so a round's mapping
+/// inputs are frozen no matter how its shards interleave.
+#[derive(Debug, Clone)]
+pub struct MappingSnapshot {
+    state_id: u64,
+    inner: Inner,
+}
+
+thread_local! {
+    /// Stack of installed snapshots (a stack so nested engines — e.g. a
+    /// campaign driven from inside another sharded loop — unwind cleanly).
+    static INSTALLED: RefCell<Vec<Arc<MappingSnapshot>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Installs `snapshot` on the current thread until the returned guard is
+/// dropped; reads of the snapshot's originating [`MetaCdnState`] on this
+/// thread are served from the copy instead of the lock. The guard is not
+/// `Send` — an installation never leaks onto another thread.
+pub fn install_snapshot(snapshot: Arc<MappingSnapshot>) -> SnapshotGuard {
+    INSTALLED.with(|s| s.borrow_mut().push(snapshot));
+    SnapshotGuard { _not_send: PhantomData }
+}
+
+/// RAII guard for an installed [`MappingSnapshot`]; uninstalls on drop.
+#[must_use = "dropping the guard immediately uninstalls the snapshot"]
+pub struct SnapshotGuard {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for SnapshotGuard {
+    fn drop(&mut self) {
+        INSTALLED.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
 }
 
 /// A point-in-time copy of the controller's view, for logging and tests.
@@ -84,7 +139,40 @@ pub struct StateSnapshot {
 impl MetaCdnState {
     /// Creates controller state around a weight schedule.
     pub fn new(schedule: Schedule) -> MetaCdnState {
-        MetaCdnState { schedule, inner: RwLock::new(Inner::default()) }
+        MetaCdnState {
+            state_id: NEXT_STATE_ID.fetch_add(1, Ordering::Relaxed),
+            schedule,
+            inner: RwLock::new(Inner::default()),
+        }
+    }
+
+    /// Captures the mutable mapping inputs as an immutable
+    /// [`MappingSnapshot`] (one read-lock acquisition for a whole round's
+    /// worth of queries).
+    pub fn capture(&self) -> MappingSnapshot {
+        MappingSnapshot {
+            state_id: self.state_id,
+            inner: self.inner.read().expect("state lock").clone(),
+        }
+    }
+
+    /// Runs `f` over the state's inner view: the thread's innermost
+    /// installed snapshot of *this* state if one exists (lock-free),
+    /// otherwise the live data under the read lock.
+    fn with_inner<R>(&self, f: impl FnOnce(&Inner) -> R) -> R {
+        let snap = INSTALLED.with(|s| {
+            s.borrow().iter().rev().find(|m| m.state_id == self.state_id).cloned()
+        });
+        match snap {
+            Some(snap) => f(&snap.inner),
+            None => f(&self.inner.read().expect("state lock")),
+        }
+    }
+
+    /// Whether a snapshot of this state is installed on the current thread
+    /// (the engine's frozen-round mode).
+    fn snapshot_installed(&self) -> bool {
+        INSTALLED.with(|s| s.borrow().iter().any(|m| m.state_id == self.state_id))
     }
 
     /// The schedule's (pre-overflow) share for `region` at `now`.
@@ -115,22 +203,22 @@ impl MetaCdnState {
 
     /// The last reported pool load for `(kind, region)`, default 0.
     pub fn cdn_load(&self, kind: CdnKind, region: Region) -> f64 {
-        *self.inner.read().expect("state lock").cdn_load.get(&(kind, region)).unwrap_or(&0.0)
+        self.with_inner(|inner| *inner.cdn_load.get(&(kind, region)).unwrap_or(&0.0))
     }
 
     /// Apple's last reported utilization for `region`, default 0.
     pub fn apple_utilization(&self, region: Region) -> f64 {
-        *self.inner.read().expect("state lock").apple_util.get(&region).unwrap_or(&0.0)
+        self.with_inner(|inner| *inner.apple_util.get(&region).unwrap_or(&0.0))
     }
 
     /// Whether the `a1015.gi3.akamai.net` event map serves `region` at `now`.
     pub fn a1015_active(&self, region: Region, now: SimTime) -> bool {
-        self.inner
-            .read()
-            .expect("state lock")
-            .akamai_overload_since
-            .get(&region)
-            .is_some_and(|since| now >= *since + A1015_LAG)
+        self.with_inner(|inner| {
+            inner
+                .akamai_overload_since
+                .get(&region)
+                .is_some_and(|since| now >= *since + A1015_LAG)
+        })
     }
 
     /// Reports a CDN's health verdict for `region`, as decided by the
@@ -142,7 +230,7 @@ impl MetaCdnState {
 
     /// The last health verdict for `(kind, region)`; defaults to healthy.
     pub fn cdn_healthy(&self, kind: CdnKind, region: Region) -> bool {
-        *self.inner.read().expect("state lock").cdn_health.get(&(kind, region)).unwrap_or(&true)
+        self.with_inner(|inner| *inner.cdn_health.get(&(kind, region)).unwrap_or(&true))
     }
 
     /// Reports the fraction of its modeled capacity a CDN retains in
@@ -158,7 +246,7 @@ impl MetaCdnState {
 
     /// The last reported capacity factor for `(kind, region)`, default 1.
     pub fn capacity_factor(&self, kind: CdnKind, region: Region) -> f64 {
-        *self.inner.read().expect("state lock").capacity_factor.get(&(kind, region)).unwrap_or(&1.0)
+        self.with_inner(|inner| *inner.capacity_factor.get(&(kind, region)).unwrap_or(&1.0))
     }
 
     /// Marks one Apple GSLB site (by [`mcdn_cdn::site::EdgeSite::site_key`])
@@ -174,12 +262,12 @@ impl MetaCdnState {
 
     /// Whether the Apple site with `site_key` is currently marked down.
     pub fn site_is_down(&self, site_key: u64) -> bool {
-        self.inner.read().expect("state lock").down_sites.contains(&site_key)
+        self.with_inner(|inner| inner.down_sites.contains(&site_key))
     }
 
     /// Number of Apple sites currently marked down.
     pub fn down_site_count(&self) -> usize {
-        self.inner.read().expect("state lock").down_sites.len()
+        self.with_inner(|inner| inner.down_sites.len())
     }
 
     /// The selection probabilities actually in force: the scheduled share
@@ -252,41 +340,23 @@ impl MetaCdnState {
         if probs.is_empty() {
             return probs;
         }
-        let kept: Vec<(CdnKind, f64)> = {
-            let inner = self.inner.read().expect("state lock");
-            let degraded = probs.iter().any(|(k, _)| {
-                !*inner.cdn_health.get(&(*k, region)).unwrap_or(&true)
-                    || *inner.capacity_factor.get(&(*k, region)).unwrap_or(&1.0) < 1.0
-            });
-            if !degraded {
-                return probs;
+        match self.with_inner(|inner| degrade_in(inner, region, &probs)) {
+            DegradeOutcome::Untouched => probs,
+            DegradeOutcome::Frozen(last_good) => last_good.unwrap_or(probs),
+            DegradeOutcome::Shed(out) => {
+                // Snapshot mode is read-only: the frozen round must not
+                // mutate the live state, and the live `last_good` keeps
+                // being maintained by the driver's between-round calls.
+                if !self.snapshot_installed() {
+                    self.inner
+                        .write()
+                        .expect("state lock")
+                        .last_good
+                        .insert(region, out.clone());
+                }
+                out
             }
-            probs
-                .iter()
-                .map(|(k, p)| {
-                    let healthy = *inner.cdn_health.get(&(*k, region)).unwrap_or(&true);
-                    let factor =
-                        (*inner.capacity_factor.get(&(*k, region)).unwrap_or(&1.0)).clamp(0.0, 1.0);
-                    (*k, if healthy { p * factor } else { 0.0 })
-                })
-                .collect()
-        };
-        let total: f64 = probs.iter().map(|(_, p)| p).sum();
-        let kept_total: f64 = kept.iter().map(|(_, p)| p).sum();
-        if kept_total <= 0.0 {
-            // Every health signal lost: graceful degradation to the
-            // last-known-good mapping.
-            let inner = self.inner.read().expect("state lock");
-            return inner.last_good.get(&region).cloned().unwrap_or(probs);
         }
-        let mut out: Vec<(CdnKind, f64)> = kept
-            .into_iter()
-            .filter(|(_, p)| *p > 0.0)
-            .map(|(k, p)| (k, p * total / kept_total))
-            .collect();
-        out.shrink_to_fit();
-        self.inner.write().expect("state lock").last_good.insert(region, out.clone());
-        out
     }
 
     /// Step ② decision: which CDN serves `client_ip` in `region` at `now`.
@@ -328,6 +398,53 @@ impl MetaCdnState {
             .collect();
         StateSnapshot { apple_util, cdn_load, a1015_active }
     }
+}
+
+/// What the degradation signals did to a share vector (computed against
+/// one immutable view of [`Inner`], live or snapshot).
+enum DegradeOutcome {
+    /// No degradation signal set: the input share stands bit-identically.
+    Untouched,
+    /// Every CDN ejected or at factor 0 — freeze onto the last-known-good
+    /// mapping (`None` when degradation struck before one was recorded).
+    Frozen(Option<Vec<(CdnKind, f64)>>),
+    /// Shed-and-renormalized share over the surviving CDNs.
+    Shed(Vec<(CdnKind, f64)>),
+}
+
+/// The pure half of [`MetaCdnState::degraded_share`]: steps 1–3 of the
+/// degradation pipeline against a borrowed view, no locking, no writes.
+fn degrade_in(inner: &Inner, region: Region, probs: &[(CdnKind, f64)]) -> DegradeOutcome {
+    let degraded = probs.iter().any(|(k, _)| {
+        !*inner.cdn_health.get(&(*k, region)).unwrap_or(&true)
+            || *inner.capacity_factor.get(&(*k, region)).unwrap_or(&1.0) < 1.0
+    });
+    if !degraded {
+        return DegradeOutcome::Untouched;
+    }
+    let kept: Vec<(CdnKind, f64)> = probs
+        .iter()
+        .map(|(k, p)| {
+            let healthy = *inner.cdn_health.get(&(*k, region)).unwrap_or(&true);
+            let factor =
+                (*inner.capacity_factor.get(&(*k, region)).unwrap_or(&1.0)).clamp(0.0, 1.0);
+            (*k, if healthy { p * factor } else { 0.0 })
+        })
+        .collect();
+    let total: f64 = probs.iter().map(|(_, p)| p).sum();
+    let kept_total: f64 = kept.iter().map(|(_, p)| p).sum();
+    if kept_total <= 0.0 {
+        // Every health signal lost: graceful degradation to the
+        // last-known-good mapping.
+        return DegradeOutcome::Frozen(inner.last_good.get(&region).cloned());
+    }
+    let mut out: Vec<(CdnKind, f64)> = kept
+        .into_iter()
+        .filter(|(_, p)| *p > 0.0)
+        .map(|(k, p)| (k, p * total / kept_total))
+        .collect();
+    out.shrink_to_fit();
+    DegradeOutcome::Shed(out)
 }
 
 /// Deterministic weighted choice among CDNs for one client at one instant.
@@ -538,6 +655,40 @@ mod tests {
         assert_eq!(s.down_site_count(), 1);
         s.set_site_down(99, false);
         assert!(!s.site_is_down(99));
+    }
+
+    #[test]
+    fn installed_snapshot_freezes_reads_and_skips_writes() {
+        let s = state_with(0.5, 0.25, 0.25);
+        s.set_apple_utilization(Region::Eu, 2.0);
+        s.set_cdn_load(CdnKind::Akamai, Region::Eu, 0.9, t0());
+        let frozen_share = s.effective_share(Region::Eu, t0());
+        let snap = Arc::new(s.capture());
+        {
+            let _g = install_snapshot(snap.clone());
+            // Live writes after capture are invisible through the snapshot…
+            s.set_apple_utilization(Region::Eu, 0.1);
+            s.set_cdn_load(CdnKind::Akamai, Region::Eu, 0.2, t0());
+            assert_eq!(s.apple_utilization(Region::Eu), 2.0);
+            assert_eq!(s.cdn_load(CdnKind::Akamai, Region::Eu), 0.9);
+            assert_eq!(s.effective_share(Region::Eu, t0()), frozen_share);
+            // …and degradation under a snapshot never records last_good.
+            s.set_capacity_factor(CdnKind::Apple, Region::Eu, 1.0);
+        }
+        // Guard dropped: reads see the live values again.
+        assert_eq!(s.apple_utilization(Region::Eu), 0.1);
+        assert_eq!(s.cdn_load(CdnKind::Akamai, Region::Eu), 0.2);
+    }
+
+    #[test]
+    fn snapshot_of_one_state_never_serves_another() {
+        let a = state_with(0.5, 0.25, 0.25);
+        let b = state_with(0.5, 0.25, 0.25);
+        a.set_apple_utilization(Region::Eu, 1.5);
+        b.set_apple_utilization(Region::Eu, 0.5);
+        let _g = install_snapshot(Arc::new(a.capture()));
+        assert_eq!(a.apple_utilization(Region::Eu), 1.5);
+        assert_eq!(b.apple_utilization(Region::Eu), 0.5, "b reads live data");
     }
 
     #[test]

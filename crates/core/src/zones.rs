@@ -13,7 +13,7 @@ use crate::names;
 use crate::state::MetaCdnState;
 use mcdn_cdn::site::fnv64;
 use mcdn_cdn::{GslbDirectory, ThirdPartyCdn};
-use mcdn_dnssim::{Namespace, QueryContext, Zone};
+use mcdn_dnssim::{Namespace, PolicyScope, QueryContext, Zone};
 use mcdn_dnswire::{Name, RData, RecordType, ResourceRecord};
 use mcdn_geo::Region;
 use std::net::Ipv4Addr;
@@ -128,7 +128,10 @@ fn akadns_zone(cfg: &MetaCdnConfig) -> Zone {
     let mut z = Zone::new(Name::parse("akadns.net").expect("static"));
 
     // Step ①: China/India diversion, everything else back to Apple.
-    z.set_policy(
+    // The answer depends only on the client's city (its special-market
+    // membership), never its address — declared City-scoped so the
+    // engine's per-round memo can replay it across a city's probes.
+    z.set_policy_scoped(
         names::geo_split(),
         Arc::new(move |qtype: RecordType, ctx: &QueryContext| {
             only_a(qtype, || {
@@ -139,6 +142,7 @@ fn akadns_zone(cfg: &MetaCdnConfig) -> Zone {
                 vec![cname(&names::geo_split(), &target, names::TTL_GEO)]
             })
         }),
+        PolicyScope::City,
     );
 
     // Dedicated market pools (terminal A records).

@@ -35,6 +35,7 @@ pub mod cache;
 pub mod context;
 pub mod faults;
 pub mod iterative;
+pub mod memo;
 pub mod resolver;
 pub mod wire;
 pub mod zone;
@@ -43,6 +44,7 @@ pub use cache::Cache;
 pub use context::QueryContext;
 pub use faults::{FaultModel, NoFaults, UpstreamFault};
 pub use iterative::{IterativeResolver, IterativeOutcome};
+pub use memo::{MemoKey, MemoScope, RoundMemo};
 pub use resolver::{RecursiveResolver, ResolutionError, ResolutionTrace, TraceStep};
 pub use wire::serve;
-pub use zone::{MappingPolicy, Namespace, Zone, ZoneAnswer};
+pub use zone::{MappingPolicy, Namespace, PolicyScope, Zone, ZoneAnswer};

@@ -3,6 +3,7 @@
 use crate::cache::Cache;
 use crate::context::QueryContext;
 use crate::faults::{FaultModel, NoFaults, UpstreamFault};
+use crate::memo::{MemoScope, RoundMemo};
 use crate::zone::{Namespace, ZoneAnswer};
 use mcdn_dnswire::{Name, RData, RecordType, ResourceRecord};
 use std::net::Ipv4Addr;
@@ -150,6 +151,41 @@ impl RecursiveResolver {
         faults: &dyn FaultModel,
         attempt: u32,
     ) -> (ResolutionTrace, Result<(), ResolutionError>) {
+        self.resolve_inner(ns, qname, qtype, ctx, faults, attempt, None)
+    }
+
+    /// Like [`RecursiveResolver::resolve_with`], additionally consulting a
+    /// per-round [`RoundMemo`] for answers whose zone declared a
+    /// memoizable [`crate::PolicyScope`]. The fault hook runs *before* the
+    /// memo, so a perturbed query bypasses memoization; replayed answers
+    /// are byte-for-byte what the authoritative query produced, so the
+    /// resolution (trace, cache effects and all) is bit-identical with the
+    /// memo on or off.
+    #[allow(clippy::too_many_arguments)] // the memo-bearing superset of resolve_with
+    pub fn resolve_memoized(
+        &mut self,
+        ns: &Namespace,
+        qname: &Name,
+        qtype: RecordType,
+        ctx: &QueryContext,
+        faults: &dyn FaultModel,
+        attempt: u32,
+        memo: &mut RoundMemo,
+    ) -> (ResolutionTrace, Result<(), ResolutionError>) {
+        self.resolve_inner(ns, qname, qtype, ctx, faults, attempt, Some(memo))
+    }
+
+    #[allow(clippy::too_many_arguments)] // private driver behind the two entry points
+    fn resolve_inner(
+        &mut self,
+        ns: &Namespace,
+        qname: &Name,
+        qtype: RecordType,
+        ctx: &QueryContext,
+        faults: &dyn FaultModel,
+        attempt: u32,
+        mut memo: Option<&mut RoundMemo>,
+    ) -> (ResolutionTrace, Result<(), ResolutionError>) {
         let mut trace = ResolutionTrace::default();
         let mut current = qname.clone();
         for _ in 0..MAX_CHAIN {
@@ -176,24 +212,46 @@ impl RecursiveResolver {
                         };
                         return (trace, Err(err));
                     }
-                    match ns.query(&current, qtype, ctx) {
-                        (ZoneAnswer::Records(rrs), zone) => {
-                            self.cache.put(current.clone(), qtype, rrs.clone(), ctx.now);
-                            (rrs, false, zone.cloned())
-                        }
-                        (ZoneAnswer::NoData, zone) => {
-                            self.cache.put(current.clone(), qtype, Vec::new(), ctx.now);
-                            (Vec::new(), false, zone.cloned())
-                        }
-                        (ZoneAnswer::NxDomain, _) => {
-                            trace.steps.push(TraceStep {
-                                qname: current.clone(),
-                                qtype,
-                                records: Vec::new(),
-                                from_cache: false,
-                                zone: None,
-                            });
-                            return (trace, Err(ResolutionError::NxDomain(current)));
+                    let memo_key = match &memo {
+                        Some(_) => MemoScope::for_query(ns.scope_of(&current), ctx.locode)
+                            .map(|scope| (current.clone(), qtype, scope, ctx.now)),
+                        None => None,
+                    };
+                    let replayed = match (memo.as_deref_mut(), &memo_key) {
+                        (Some(m), Some(key)) => m.replay(key),
+                        _ => None,
+                    };
+                    if let Some((rrs, zone)) = replayed {
+                        // Replay the authoritative answer with identical
+                        // cache side effects.
+                        self.cache.put(current.clone(), qtype, rrs.clone(), ctx.now);
+                        (rrs, false, zone)
+                    } else {
+                        match ns.query(&current, qtype, ctx) {
+                            (ZoneAnswer::Records(rrs), zone) => {
+                                self.cache.put(current.clone(), qtype, rrs.clone(), ctx.now);
+                                if let (Some(m), Some(key)) = (memo.as_deref_mut(), memo_key) {
+                                    m.store(key, rrs.clone(), zone.cloned());
+                                }
+                                (rrs, false, zone.cloned())
+                            }
+                            (ZoneAnswer::NoData, zone) => {
+                                self.cache.put(current.clone(), qtype, Vec::new(), ctx.now);
+                                if let (Some(m), Some(key)) = (memo.as_deref_mut(), memo_key) {
+                                    m.store(key, Vec::new(), zone.cloned());
+                                }
+                                (Vec::new(), false, zone.cloned())
+                            }
+                            (ZoneAnswer::NxDomain, _) => {
+                                trace.steps.push(TraceStep {
+                                    qname: current.clone(),
+                                    qtype,
+                                    records: Vec::new(),
+                                    from_cache: false,
+                                    zone: None,
+                                });
+                                return (trace, Err(ResolutionError::NxDomain(current)));
+                            }
                         }
                     }
                 }
@@ -415,6 +473,75 @@ mod tests {
             0,
         );
         assert!(matches!(res, Err(ResolutionError::ServFail(_))));
+    }
+
+    #[test]
+    fn memoized_resolution_is_bit_identical_and_replays_scoped_answers() {
+        use crate::zone::PolicyScope;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        // A namespace whose akadns hop is a City-scoped policy that counts
+        // how often the authoritative side is actually asked.
+        let authoritative_queries = Arc::new(AtomicU64::new(0));
+        let build_ns = |counter: Arc<AtomicU64>| {
+            let mut ns = Namespace::new();
+            let mut apple = Zone::new(n("apple.com"));
+            apple.add_cname("appldnld.apple.com", "appldnld.apple.com.akadns.net", 21600);
+            ns.add_zone(apple);
+            let mut akadns = Zone::new(n("akadns.net"));
+            akadns.set_policy_scoped(
+                n("appldnld.apple.com.akadns.net"),
+                Arc::new(move |_: RecordType, _: &QueryContext| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    vec![ResourceRecord::new(
+                        n("appldnld.apple.com.akadns.net"),
+                        120,
+                        RData::Cname(n("a.gslb.applimg.com")),
+                    )]
+                }),
+                PolicyScope::City,
+            );
+            ns.add_zone(akadns);
+            let mut applimg = Zone::new(n("applimg.com"));
+            applimg.add_a("a.gslb.applimg.com", Ipv4Addr::new(17, 253, 37, 16), 20);
+            ns.add_zone(applimg);
+            ns
+        };
+        let ns = build_ns(authoritative_queries.clone());
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        let q = n("appldnld.apple.com");
+
+        // Plain resolution for reference (fresh resolver per client).
+        let plain: Vec<_> = (0..4u8)
+            .map(|i| {
+                let mut ctx = ctx_at(t0);
+                ctx.client_ip = Ipv4Addr::new(198, 51, 100, i);
+                RecursiveResolver::new().resolve(&ns, &q, RecordType::A, &ctx)
+            })
+            .collect();
+        let before = authoritative_queries.load(Ordering::Relaxed);
+
+        // Memoized resolution: same city → the City-scoped hop is asked
+        // authoritatively once, replayed three times, bit-identically.
+        let mut memo = RoundMemo::new();
+        let memoized: Vec<_> = (0..4u8)
+            .map(|i| {
+                let mut ctx = ctx_at(t0);
+                ctx.client_ip = Ipv4Addr::new(198, 51, 100, i);
+                RecursiveResolver::new()
+                    .resolve_memoized(&ns, &q, RecordType::A, &ctx, &NoFaults, 0, &mut memo)
+            })
+            .collect();
+        assert_eq!(plain, memoized, "memo on/off must not change any resolution");
+        let after = authoritative_queries.load(Ordering::Relaxed);
+        assert_eq!(before, 4, "plain: every client walks the policy");
+        assert_eq!(after - before, 1, "memoized: one walk, three replays");
+        assert!(memo.hits() > 0);
+        // Global statics (entry CNAME, terminal A) memoize too: 3 keys.
+        assert_eq!(memo.len(), 3);
+        assert_eq!(memo.lookups(), 12);
+        assert_eq!(memo.hits(), 9);
     }
 
     #[test]

@@ -28,6 +28,28 @@ where
     }
 }
 
+/// How much of the [`QueryContext`] a name's answer actually depends on —
+/// the contract that makes per-round answer memoization sound.
+///
+/// Static records depend on nothing and are implicitly [`Global`]
+/// (`PolicyScope::Global`). Dynamic policies default to the conservative
+/// [`Client`](PolicyScope::Client) (never memoized); a policy registered
+/// through [`Zone::set_policy_scoped`] *declares* a broader scope, promising
+/// that two queries agreeing on the scope's inputs (and on `now`, which is
+/// fixed within a round) receive identical records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyScope {
+    /// The answer is the same for every client (static records, fixed
+    /// CNAMEs, the China/India divert targets).
+    Global,
+    /// The answer depends only on the client's city (`ctx.locode`), not on
+    /// its address — e.g. the Akamai geo split.
+    City,
+    /// The answer may depend on the full context, including `client_ip`
+    /// (selectors, GSLBs, load-balancer rotations). Never memoized.
+    Client,
+}
+
 /// Key for the static record map: owner name + record type wire value.
 type RecordKey = (Name, u16);
 
@@ -37,6 +59,7 @@ pub struct Zone {
     records: HashMap<RecordKey, Vec<ResourceRecord>>,
     names: HashMap<Name, ()>,
     policies: HashMap<Name, Arc<dyn MappingPolicy>>,
+    scopes: HashMap<Name, PolicyScope>,
 }
 
 impl std::fmt::Debug for Zone {
@@ -52,7 +75,13 @@ impl std::fmt::Debug for Zone {
 impl Zone {
     /// An empty zone rooted at `origin`.
     pub fn new(origin: Name) -> Zone {
-        Zone { origin, records: HashMap::new(), names: HashMap::new(), policies: HashMap::new() }
+        Zone {
+            origin,
+            records: HashMap::new(),
+            names: HashMap::new(),
+            policies: HashMap::new(),
+            scopes: HashMap::new(),
+        }
     }
 
     /// The zone origin.
@@ -81,10 +110,36 @@ impl Zone {
     }
 
     /// Attaches a dynamic policy at `owner` (replacing any previous one).
+    /// The policy gets the conservative [`PolicyScope::Client`] scope.
     pub fn set_policy(&mut self, owner: Name, policy: Arc<dyn MappingPolicy>) {
+        self.set_policy_scoped(owner, policy, PolicyScope::Client);
+    }
+
+    /// Attaches a dynamic policy at `owner` declaring how much of the
+    /// query context its answers depend on (see [`PolicyScope`]). Declaring
+    /// anything broader than `Client` is a promise the caller must keep:
+    /// the per-round memo will replay one client's answer to another.
+    pub fn set_policy_scoped(
+        &mut self,
+        owner: Name,
+        policy: Arc<dyn MappingPolicy>,
+        scope: PolicyScope,
+    ) {
         assert!(owner.is_within(&self.origin), "{} outside zone {}", owner, self.origin);
         self.names.insert(owner.clone(), ());
+        self.scopes.insert(owner.clone(), scope);
         self.policies.insert(owner, policy);
+    }
+
+    /// The declared scope of answers at `qname`: the policy's declared
+    /// scope if a policy is attached, otherwise [`PolicyScope::Global`]
+    /// (static records and existence facts depend on no context).
+    pub fn scope_of(&self, qname: &Name) -> PolicyScope {
+        if self.policies.contains_key(qname) {
+            *self.scopes.get(qname).unwrap_or(&PolicyScope::Client)
+        } else {
+            PolicyScope::Global
+        }
     }
 
     /// Whether any record or policy exists at `name` (for NXDOMAIN vs NODATA).
@@ -196,6 +251,14 @@ impl Namespace {
             Some(zone) => (zone.answer(qname, qtype, ctx), Some(zone.origin())),
             None => (ZoneAnswer::NxDomain, None),
         }
+    }
+
+    /// The declared answer scope at `name`: the authoritative zone's
+    /// [`Zone::scope_of`], or [`PolicyScope::Global`] when no zone is
+    /// authoritative (NXDOMAIN is the same for everyone — though the memo
+    /// never stores error answers anyway).
+    pub fn scope_of(&self, name: &Name) -> PolicyScope {
+        self.authority_for(name).map_or(PolicyScope::Global, |z| z.scope_of(name))
     }
 
     /// Number of installed zones.

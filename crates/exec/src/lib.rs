@@ -1,0 +1,175 @@
+//! Deterministic sharded execution for the measurement plane.
+//!
+//! The campaign and traffic loops fan work out over OS threads without
+//! giving up bit-identical output: work items are split into **contiguous
+//! shards** (never interleaved), each shard is processed by exactly one
+//! worker, and the per-shard partial results are handed back **in shard
+//! order** so the caller can merge them in the same canonical order a
+//! serial loop would have produced. Because shard boundaries only group
+//! neighbouring items — they never reorder them — any reduction that is
+//! associative over contiguous runs (set union, counter addition,
+//! append-in-order) yields the same result for 1, 2, 8, … threads.
+//!
+//! The pool is hand-rolled on [`std::thread::scope`]: the workspace's
+//! hermetic-shims policy rules out external crates (no rayon), and a
+//! scoped spawn per round is cheap next to the thousands of resolutions a
+//! round performs. With `threads <= 1` the shards run inline on the
+//! caller's thread — same code path, no spawn — which keeps the serial
+//! and parallel engines literally the same code.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::ops::Range;
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "MCDN_THREADS";
+
+/// The number of worker threads the engine should use: `MCDN_THREADS` if
+/// set to a positive integer, otherwise the machine's available
+/// parallelism (1 if that cannot be determined).
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The contiguous index ranges that split `n` items into at most `shards`
+/// near-even parts: the first `n % shards` shards carry one extra item.
+/// Empty ranges are never produced — with `n < shards` only `n`
+/// single-item shards are returned. The concatenation of the ranges is
+/// exactly `0..n`, in order, which is what makes shard-order merges
+/// canonical.
+pub fn shard_bounds(n: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.max(1).min(n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = n / shards;
+    let extra = n % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `f` over contiguous shards of `items` on up to `threads` workers
+/// and returns the per-shard results **in shard order** (shard 0 first).
+///
+/// `f` receives the shard index and a mutable slice of that shard's
+/// items; shards never overlap, so the borrow is race-free by
+/// construction. With `threads <= 1` (or a single shard) the shards run
+/// inline on the caller's thread.
+pub fn shard_map<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    let bounds = shard_bounds(items.len(), threads);
+    if bounds.len() <= 1 || threads <= 1 {
+        // Inline path: identical shard boundaries, no spawn.
+        let mut out = Vec::with_capacity(bounds.len());
+        let mut rest = items;
+        for (i, b) in bounds.iter().enumerate() {
+            let (shard, tail) = rest.split_at_mut(b.len());
+            rest = tail;
+            out.push(f(i, shard));
+        }
+        return out;
+    }
+    let mut shards: Vec<&mut [T]> = Vec::with_capacity(bounds.len());
+    let mut rest = items;
+    for b in &bounds {
+        let (shard, tail) = rest.split_at_mut(b.len());
+        rest = tail;
+        shards.push(shard);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| scope.spawn(move || f(i, shard)))
+            .collect();
+        // Joining in spawn order preserves the canonical shard order no
+        // matter which worker finishes first.
+        handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_partition_exactly() {
+        for n in [0usize, 1, 2, 7, 8, 9, 100] {
+            for shards in [1usize, 2, 3, 8, 16] {
+                let b = shard_bounds(n, shards);
+                let covered: Vec<usize> = b.iter().cloned().flatten().collect();
+                assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} shards={shards}");
+                assert!(b.iter().all(|r| !r.is_empty()), "no empty shards: n={n} shards={shards}");
+                if n > 0 {
+                    let lens: Vec<usize> = b.iter().map(|r| r.len()).collect();
+                    let (min, max) =
+                        (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                    assert!(max - min <= 1, "near-even: n={n} shards={shards} {lens:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_map_results_in_shard_order_for_any_thread_count() {
+        let serial: Vec<Vec<u32>> = {
+            let mut items: Vec<u32> = (0..103).collect();
+            shard_map(&mut items, 1, |_, shard| shard.to_vec())
+        };
+        let flat_serial: Vec<u32> = serial.into_iter().flatten().collect();
+        for threads in [2usize, 3, 8] {
+            let mut items: Vec<u32> = (0..103).collect();
+            let parts = shard_map(&mut items, threads, |_, shard| shard.to_vec());
+            let flat: Vec<u32> = parts.into_iter().flatten().collect();
+            assert_eq!(flat, flat_serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn shard_map_mutates_disjoint_shards() {
+        let mut items = vec![0u64; 50];
+        let sums = shard_map(&mut items, 4, |i, shard| {
+            for x in shard.iter_mut() {
+                *x = i as u64 + 1;
+            }
+            shard.iter().sum::<u64>()
+        });
+        assert_eq!(sums.len(), 4);
+        assert!(items.iter().all(|&x| x > 0));
+        assert_eq!(items.iter().sum::<u64>(), sums.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn more_threads_than_items_degrades_gracefully() {
+        let mut items = vec![1u8, 2, 3];
+        let parts = shard_map(&mut items, 16, |_, shard| shard.to_vec());
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.concat(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_shards() {
+        let mut items: Vec<u8> = Vec::new();
+        let parts: Vec<usize> = shard_map(&mut items, 4, |_, shard| shard.len());
+        assert!(parts.is_empty());
+    }
+}

@@ -43,6 +43,48 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// A streaming FNV-1a hasher producing values identical to [`fnv64`] over
+/// the concatenation of everything fed to it — without materializing that
+/// concatenation. It implements [`core::fmt::Write`], so `write!(h, "{x}")`
+/// hashes a value's `Display` output with no intermediate `String`; FNV is
+/// strictly byte-serial, so however the formatter chunks its writes, the
+/// result equals hashing `x.to_string().as_bytes()`.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A hasher in the FNV-1a initial state (`fnv64(b"")`).
+    pub fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// The hash of everything fed so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl core::fmt::Write for Fnv64 {
+    fn write_str(&mut self, s: &str) -> core::fmt::Result {
+        self.update(s.as_bytes());
+        Ok(())
+    }
+}
+
 /// One SplitMix64 step — used to decorrelate hash streams drawn from the
 /// same key material for different decisions.
 fn mix(mut z: u64) -> u64 {
@@ -493,6 +535,24 @@ impl RetryPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn streaming_fnv_matches_one_shot_fnv() {
+        use core::fmt::Write as _;
+        assert_eq!(Fnv64::new().finish(), fnv64(b""));
+        // Chunked updates equal one concatenated hash.
+        let mut h = Fnv64::new();
+        h.update(b"appldnld.apple");
+        h.update(b".com");
+        h.update(&[198, 51, 100, 7]);
+        let mut whole = b"appldnld.apple.com".to_vec();
+        whole.extend_from_slice(&[198, 51, 100, 7]);
+        assert_eq!(h.finish(), fnv64(&whole));
+        // Display formatting hashes like to_string().as_bytes().
+        let mut h = Fnv64::new();
+        write!(h, "{}", 123_456u64).unwrap();
+        assert_eq!(h.finish(), fnv64(123_456u64.to_string().as_bytes()));
+    }
 
     #[test]
     fn none_profile_never_faults() {

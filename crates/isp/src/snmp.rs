@@ -14,7 +14,7 @@ use std::collections::{BTreeMap, HashMap};
 pub const POLL_INTERVAL: Duration = Duration::mins(5);
 
 /// Monotonic per-link octet counters plus the polled time series.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct SnmpCounters {
     counters: HashMap<LinkId, u64>,
     last_polled: HashMap<LinkId, u64>,

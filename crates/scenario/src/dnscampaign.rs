@@ -1,26 +1,40 @@
 //! The DNS measurement campaigns (global fleet and in-ISP fleet).
+//!
+//! Campaign rounds run on the deterministic parallel engine
+//! (`mcdn-exec`): each round captures one immutable
+//! [`MappingSnapshot`](metacdn::MappingSnapshot) of the controller,
+//! splits the fleet into contiguous shards, resolves concurrently with a
+//! shard-local per-round [`RoundMemo`], and merges the shard partials in
+//! canonical probe order — so the result is bit-identical for any thread
+//! count, faults on or off.
 
 use crate::classes::{attribute_trace, CdnClass};
 use crate::config::ScenarioConfig;
 use crate::loads::update_loads;
 use crate::world::World;
+use core::fmt::Write as _;
 use mcdn_atlas::{build_fleet, Availability, UniqueIpAggregator};
-use mcdn_dnssim::{FaultModel, QueryContext, UpstreamFault};
+use mcdn_dnssim::{FaultModel, MemoKey, QueryContext, RoundMemo, UpstreamFault};
 use mcdn_dnswire::{Name, RecordType};
-use mcdn_faults::{fnv64, FaultProfile, QueryFault, RetryPolicy};
+use mcdn_faults::{FaultProfile, Fnv64, QueryFault, RetryPolicy};
 use mcdn_geo::{Continent, Duration, Region, SimTime};
 use metacdn::CdnKind;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Output of one DNS campaign.
+#[derive(Debug, Clone, PartialEq)]
 pub struct DnsCampaignResult {
     /// Unique cache IPs per (time bin, probe continent, CDN class) — the
     /// Figure 4 / Figure 5 series.
     pub unique_ips: UniqueIpAggregator<Continent, CdnClass>,
     /// Every observed address with its classification — the cross-
     /// correlation input for the ISP traffic analysis (§5.3: "we select all
-    /// CDN server IPs observed in RIPE Atlas DNS measurements").
+    /// CDN server IPs observed in RIPE Atlas DNS measurements"). An address
+    /// observed under several classes keeps the deterministic winner
+    /// decided by [`IpClassLedger`] (latest observation wins, ties broken
+    /// by class order), independent of probe-processing order.
     pub ip_classes: HashMap<Ipv4Addr, CdnClass>,
     /// Resolutions performed (one per online probe per round, as before
     /// fault injection existed — retries do not inflate this).
@@ -31,6 +45,64 @@ pub struct DnsCampaignResult {
     /// Measurements that still ended in a transient failure (SERVFAIL or
     /// timeout) after exhausting their retry budget.
     pub retry_exhausted: u64,
+    /// Lookups of memoizable zone answers (see
+    /// [`RoundMemo`]); canonical — independent of the thread count.
+    pub memo_lookups: u64,
+    /// Memoizable lookups that a single-shard engine would have served
+    /// from the per-round memo (`memo_lookups − distinct keys`); canonical.
+    pub memo_hits: u64,
+}
+
+/// Order-independent accumulator for `address → CDN class` observations.
+///
+/// An address reclassified across rounds (e.g. an Akamai cache absorbed
+/// into the a1015 event map) used to keep whichever insert ran last —
+/// an order the parallel merge must not depend on. The ledger defines the
+/// deterministic winner instead: the observation with the **latest
+/// [`SimTime`] wins; same-instant conflicts break by [`CdnClass`]
+/// ordering**. `max((t, class))` is commutative and associative, so
+/// merging shard ledgers in any order equals observing serially.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IpClassLedger {
+    seen: HashMap<Ipv4Addr, (SimTime, CdnClass)>,
+}
+
+impl IpClassLedger {
+    /// An empty ledger.
+    pub fn new() -> IpClassLedger {
+        IpClassLedger::default()
+    }
+
+    /// Records that `ip` was classified as `class` at `t`.
+    pub fn observe(&mut self, ip: Ipv4Addr, t: SimTime, class: CdnClass) {
+        let candidate = (t, class);
+        let entry = self.seen.entry(ip).or_insert(candidate);
+        if candidate > *entry {
+            *entry = candidate;
+        }
+    }
+
+    /// Merges another ledger's observations into this one.
+    pub fn merge(&mut self, other: IpClassLedger) {
+        for (ip, (t, class)) in other.seen {
+            self.observe(ip, t, class);
+        }
+    }
+
+    /// The winning classification per address.
+    pub fn into_classes(self) -> HashMap<Ipv4Addr, CdnClass> {
+        self.seen.into_iter().map(|(ip, (_, class))| (ip, class)).collect()
+    }
+
+    /// Number of distinct addresses observed.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
 }
 
 impl DnsCampaignResult {
@@ -92,7 +164,13 @@ impl FaultModel for CampaignFaults<'_> {
             return None;
         }
         let load = self.zone_load(zone, ctx.region());
-        let zone_key = fnv64(zone.to_string().as_bytes());
+        // Streamed hashing: `Fnv64` folds the `Display` output of the names
+        // directly into the digest, replacing the former per-query
+        // `to_string()` allocations on this hot path while producing the
+        // identical key values.
+        let mut zh = Fnv64::new();
+        let _ = write!(zh, "{zone}");
+        let zone_key = zh.finish();
         // A dark authoritative NS (infrastructure outage or targeted kill)
         // times out every attempt while the window lasts: resolvers retry,
         // exhaust their budget, and report a transient failure — they never
@@ -100,14 +178,29 @@ impl FaultModel for CampaignFaults<'_> {
         if self.profile.ns_is_dark(zone_key, ctx.now) {
             return Some(UpstreamFault::Timeout);
         }
-        let mut query_bytes = qname.to_string().into_bytes();
-        query_bytes.extend_from_slice(&ctx.client_ip.octets());
-        let query_key = fnv64(&query_bytes);
+        let mut qh = Fnv64::new();
+        let _ = write!(qh, "{qname}");
+        qh.update(&ctx.client_ip.octets());
+        let query_key = qh.finish();
         match self.profile.upstream_fault(zone_key, query_key, attempt, ctx.now, load)? {
             QueryFault::ServFail => Some(UpstreamFault::ServFail),
             QueryFault::Timeout => Some(UpstreamFault::Timeout),
         }
     }
+}
+
+/// One shard's contribution to a campaign round. Partials are merged in
+/// canonical shard order; every field is either order-independent by
+/// construction (set unions, max-ledgers, sums) or canonicalized at merge
+/// time (memo counts), so the merged round is bit-identical to a serial
+/// sweep of the same probes.
+struct ShardPartial {
+    agg: UniqueIpAggregator<Continent, CdnClass>,
+    classes: IpClassLedger,
+    resolutions: u64,
+    attempts: u64,
+    retry_exhausted: u64,
+    memo_counts: HashMap<MemoKey, u64>,
 }
 
 #[allow(clippy::too_many_arguments)] // private driver: one arg per campaign knob
@@ -121,15 +214,17 @@ fn run_campaign(
     availability: Availability,
     profile: FaultProfile,
     retry: RetryPolicy,
+    threads: usize,
 ) -> DnsCampaignResult {
     let mut fleet = build_fleet(specs.to_vec());
     let mut agg = UniqueIpAggregator::new(bin);
-    let mut ip_classes = HashMap::new();
+    let mut classes = IpClassLedger::new();
     let mut resolutions = 0u64;
     let mut attempts = 0u64;
     let mut retry_exhausted = 0u64;
+    let mut memo_lookups = 0u64;
+    let mut memo_hits = 0u64;
     let entry = metacdn::names::entry();
-    let faults = CampaignFaults::new(profile, world);
     // The controller evolves in real time regardless of how often probes
     // measure: walk it on a fine grid between measurement rounds so load
     // history (and the a1015 activation lag) is independent of cadence.
@@ -142,31 +237,96 @@ fn run_campaign(
             ctrl_t += ctrl_step;
         }
         update_loads(world, t);
-        for probe in &mut fleet {
-            if !availability.is_online(probe.id, t) {
-                continue; // probe offline this epoch
+        // Freeze the controller for the duration of the round: every shard
+        // reads the same immutable snapshot instead of contending on the
+        // live state's lock, and a probe's answer cannot depend on which
+        // shard ran first.
+        let snap = Arc::new(world.state.capture());
+        let partials = mcdn_exec::shard_map(&mut fleet, threads, |_shard_idx, shard| {
+            let _guard = metacdn::install_snapshot(Arc::clone(&snap));
+            let faults = CampaignFaults::new(profile, world);
+            let mut memo = RoundMemo::new();
+            let mut partial = ShardPartial {
+                agg: UniqueIpAggregator::new(bin),
+                classes: IpClassLedger::new(),
+                resolutions: 0,
+                attempts: 0,
+                retry_exhausted: 0,
+                memo_counts: HashMap::new(),
+            };
+            for probe in shard.iter_mut() {
+                if !availability.is_online(probe.id, t) {
+                    continue; // probe offline this epoch
+                }
+                let outcome = probe.measure_memoized(
+                    &world.ns,
+                    &entry,
+                    RecordType::A,
+                    t,
+                    &faults,
+                    &retry,
+                    &mut memo,
+                );
+                partial.attempts += outcome.attempts as u64;
+                if matches!(&outcome.result, Err(e) if e.is_transient()) {
+                    partial.retry_exhausted += 1;
+                }
+                let attribution = attribute_trace(&outcome.trace);
+                for ip in outcome.trace.addresses() {
+                    let class = world.classify(attribution, ip);
+                    partial.agg.record(t, probe.spec.city.continent, class, ip);
+                    partial.classes.observe(ip, t, class);
+                }
+                partial.resolutions += 1;
             }
-            let outcome = probe.measure_with(&world.ns, &entry, RecordType::A, t, &faults, &retry);
-            attempts += outcome.attempts as u64;
-            if matches!(&outcome.result, Err(e) if e.is_transient()) {
-                retry_exhausted += 1;
+            partial.memo_counts = memo.into_counts();
+            partial
+        });
+        // Canonical merge, in shard order. Memo counts are summed per key
+        // across shards first: `lookups` is the total demand for memoizable
+        // answers and `hits` what a single-shard memo would have served —
+        // both independent of how many shards actually ran.
+        let mut round_counts: HashMap<MemoKey, u64> = HashMap::new();
+        for partial in partials {
+            agg.merge(partial.agg);
+            classes.merge(partial.classes);
+            resolutions += partial.resolutions;
+            attempts += partial.attempts;
+            retry_exhausted += partial.retry_exhausted;
+            for (key, count) in partial.memo_counts {
+                *round_counts.entry(key).or_default() += count;
             }
-            let attribution = attribute_trace(&outcome.trace);
-            for ip in outcome.trace.addresses() {
-                let class = world.classify(attribution, ip);
-                agg.record(t, probe.spec.city.continent, class, ip);
-                ip_classes.insert(ip, class);
-            }
-            resolutions += 1;
         }
+        let round_lookups: u64 = round_counts.values().sum();
+        memo_lookups += round_lookups;
+        memo_hits += round_lookups - round_counts.len() as u64;
         t += interval;
     }
-    DnsCampaignResult { unique_ips: agg, ip_classes, resolutions, attempts, retry_exhausted }
+    DnsCampaignResult {
+        unique_ips: agg,
+        ip_classes: classes.into_classes(),
+        resolutions,
+        attempts,
+        retry_exhausted,
+        memo_lookups,
+        memo_hits,
+    }
 }
 
 /// The worldwide campaign (Figure 4): `cfg.global_probes` probes resolving
-/// the entry name every `cfg.global_dns_interval`, binned hourly.
+/// the entry name every `cfg.global_dns_interval`, binned hourly. Runs on
+/// [`mcdn_exec::thread_count()`] workers (the `MCDN_THREADS` environment
+/// variable overrides); the result is identical for any thread count.
 pub fn run_global_dns(world: &World, cfg: &ScenarioConfig) -> DnsCampaignResult {
+    run_global_dns_threads(world, cfg, mcdn_exec::thread_count())
+}
+
+/// [`run_global_dns`] with an explicit worker count.
+pub fn run_global_dns_threads(
+    world: &World,
+    cfg: &ScenarioConfig,
+    threads: usize,
+) -> DnsCampaignResult {
     run_campaign(
         world,
         &world.global_probe_specs,
@@ -177,12 +337,24 @@ pub fn run_global_dns(world: &World, cfg: &ScenarioConfig) -> DnsCampaignResult 
         Availability::with_rate(cfg.probe_availability, cfg.seed ^ 0xA7A5),
         cfg.faults.with_seed(cfg.faults.seed ^ 0xA7A5),
         cfg.retry,
+        threads,
     )
 }
 
 /// The in-ISP campaign (Figure 5): probes inside the Eyeball ISP resolving
-/// every `cfg.isp_dns_interval` from Aug 20 to Dec 31, binned daily.
+/// every `cfg.isp_dns_interval` from Aug 20 to Dec 31, binned daily. Runs
+/// on [`mcdn_exec::thread_count()`] workers; the result is identical for
+/// any thread count.
 pub fn run_isp_dns(world: &World, cfg: &ScenarioConfig) -> DnsCampaignResult {
+    run_isp_dns_threads(world, cfg, mcdn_exec::thread_count())
+}
+
+/// [`run_isp_dns`] with an explicit worker count.
+pub fn run_isp_dns_threads(
+    world: &World,
+    cfg: &ScenarioConfig,
+    threads: usize,
+) -> DnsCampaignResult {
     run_campaign(
         world,
         &world.isp_probe_specs,
@@ -193,12 +365,50 @@ pub fn run_isp_dns(world: &World, cfg: &ScenarioConfig) -> DnsCampaignResult {
         Availability::with_rate(cfg.probe_availability, cfg.seed ^ 0xB7B5),
         cfg.faults.with_seed(cfg.faults.seed ^ 0xB7B5),
         cfg.retry,
+        threads,
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ledger_winner_is_order_independent() {
+        let ip = Ipv4Addr::new(23, 0, 0, 1);
+        let t0 = SimTime::from_ymd(2017, 9, 18);
+        let t1 = SimTime::from_ymd(2017, 9, 19);
+        let obs =
+            [(t0, CdnClass::Akamai), (t1, CdnClass::AkamaiOtherAs), (t0, CdnClass::LimelightOtherAs)];
+        // Every permutation of observations — split across two shards at
+        // every boundary — elects the same winner: latest time, ties by
+        // class order.
+        let perms: &[[usize; 3]] =
+            &[[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        for perm in perms {
+            for split in 0..=perm.len() {
+                let mut left = IpClassLedger::new();
+                let mut right = IpClassLedger::new();
+                for (i, &o) in perm.iter().enumerate() {
+                    let (t, class) = obs[o];
+                    let target = if i < split { &mut left } else { &mut right };
+                    target.observe(ip, t, class);
+                }
+                left.merge(right);
+                assert_eq!(left.len(), 1);
+                let classes = left.into_classes();
+                assert_eq!(classes[&ip], CdnClass::AkamaiOtherAs, "perm {perm:?} split {split}");
+            }
+        }
+        // Same-instant tie: the class ordering breaks it, not insertion order.
+        let mut a = IpClassLedger::new();
+        a.observe(ip, t0, CdnClass::Apple);
+        a.observe(ip, t0, CdnClass::Akamai);
+        let mut b = IpClassLedger::new();
+        b.observe(ip, t0, CdnClass::Akamai);
+        b.observe(ip, t0, CdnClass::Apple);
+        assert_eq!(a.into_classes(), b.into_classes());
+    }
 
     /// A tiny campaign around the release: checks the EU spike mechanism
     /// end to end (probes → DNS → classification → unique-IP series).

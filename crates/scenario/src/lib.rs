@@ -50,8 +50,11 @@ pub use chaos::{
 };
 pub use classes::CdnClass;
 pub use config::{LinkSelection, ScenarioConfig};
-pub use dnscampaign::{run_global_dns, run_isp_dns, CampaignFaults, DnsCampaignResult};
+pub use dnscampaign::{
+    run_global_dns, run_global_dns_threads, run_isp_dns, run_isp_dns_threads, CampaignFaults,
+    DnsCampaignResult, IpClassLedger,
+};
 pub use timeline::{timeline, TimelineEntry};
 pub use tracecampaign::{run_traceroutes, TracerouteCampaignResult};
-pub use traffic::{run_isp_traffic, TrafficResult};
+pub use traffic::{run_isp_traffic, run_isp_traffic_threads, TrafficResult};
 pub use world::{World, WorldBuildError};

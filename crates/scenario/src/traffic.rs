@@ -7,6 +7,15 @@
 //! links fill up in order — the saturation mechanism of §5.4), is counted
 //! exactly by SNMP, and sampled into NetFlow v5 records. The analysis crate
 //! then re-runs the paper's §5 pipeline over these artifacts.
+//!
+//! Each tick runs in two phases on the deterministic parallel engine.
+//! Phase A (serial) routes flows onto links: parallel links fill *in
+//! order*, so placement inherently depends on the sequence of earlier
+//! flows and stays single-threaded. Phase B (sharded) does the per-flow
+//! work that is independent given a placement — chunking, NetFlow
+//! sampling, export-loss draws, record construction — and merges the
+//! shard outputs in canonical flow order, so the record stream is
+//! bit-identical for any thread count.
 
 use crate::classes::CdnClass;
 use crate::config::{LinkSelection, ScenarioConfig};
@@ -24,6 +33,7 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// Output of the traffic collection window.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrafficResult {
     /// Sampled NetFlow records with their bin and ingress link.
     pub flows: Vec<(SimTime, LinkId, FlowRecord)>,
@@ -61,8 +71,27 @@ fn spread(pool: &[Ipv4Addr], n: usize, total_bytes: f64, tick_salt: u64) -> Vec<
         .collect()
 }
 
-/// Runs the border telemetry over `cfg`'s traffic window.
+/// A flow with its link placement decided — the input to the
+/// embarrassingly-parallel phase of a tick.
+struct RoutedFlow {
+    src: Ipv4Addr,
+    src_as: AsId,
+    landed: Vec<(LinkId, u64)>,
+}
+
+/// Runs the border telemetry over `cfg`'s traffic window on
+/// [`mcdn_exec::thread_count()`] workers (the `MCDN_THREADS` environment
+/// variable overrides); the result is identical for any thread count.
 pub fn run_isp_traffic(world: &World, cfg: &ScenarioConfig) -> TrafficResult {
+    run_isp_traffic_threads(world, cfg, mcdn_exec::thread_count())
+}
+
+/// [`run_isp_traffic`] with an explicit worker count.
+pub fn run_isp_traffic_threads(
+    world: &World,
+    cfg: &ScenarioConfig,
+    threads: usize,
+) -> TrafficResult {
     let mut router = Router::new();
     let mut snmp = SnmpCounters::new();
     let sampler = Sampler::new(cfg.netflow_sampling);
@@ -154,8 +183,13 @@ pub fn run_isp_traffic(world: &World, cfg: &ScenarioConfig) -> TrafficResult {
             ));
         }
 
-        // Route every offered flow onto a concrete ingress link.
+        // Phase A (serial): route every offered flow onto a concrete
+        // ingress link. Parallel links fill in order — a flow's placement
+        // depends on how full earlier flows left each link, so this phase
+        // cannot shard. SNMP octets are exact per-link sums and are
+        // accounted here too.
         let mut link_used: HashMap<LinkId, u64> = HashMap::new();
+        let mut routed: Vec<RoutedFlow> = Vec::new();
         for flow in &offered {
             let Some(src_as) = world.topo.origin_of(flow.src) else { continue };
             let Some(path) = router.path(&world.topo, src_as, eyeball) else { continue };
@@ -185,49 +219,67 @@ pub fn run_isp_traffic(world: &World, cfg: &ScenarioConfig) -> TrafficResult {
                 }
             }
             dropped += remaining;
-            // NetFlow v5 byte counters are 32-bit; routers split long-lived
-            // flows into multiple records (active timeout). Chunk so the
-            // *sampled* count (true/1000) always fits.
-            const MAX_FLOW_BYTES: u64 = 2_000_000_000_000;
-            for (link_id, bytes) in landed {
-                snmp.account(link_id, bytes);
-                let mut left = bytes;
-                let mut chunk_i = 0u8;
-                while left > 0 {
-                    let chunk = left.min(MAX_FLOW_BYTES);
-                    // Subscribers are spread over the ISP's prefix; each
-                    // chunk goes to a different one (distinct flow keys).
-                    let dst = Ipv4Addr::new(
-                        84,
-                        17,
-                        (fnv64(&flow.src.octets()) % 200) as u8,
-                        20u8.wrapping_add(chunk_i),
-                    );
-                    if let Some(sampled) = sampler.sample(chunk, (flow.src, dst, t)) {
-                        let mut key = [0u8; 9];
-                        key[..4].copy_from_slice(&flow.src.octets());
-                        key[4..8].copy_from_slice(&dst.octets());
-                        key[8] = chunk_i;
-                        if profile.netflow_export_lost(link_id.0 as u64, fnv64(&key), t) {
-                            // The exporter sampled the packet but the
-                            // record never reached the collector.
-                            export_losses += 1;
-                        } else {
-                            let rec = make_record(
-                                flow.src,
-                                dst,
-                                (link_id.0 & 0xFFFF) as u16,
-                                sampled,
-                                src_as,
-                                eyeball,
-                            );
-                            flows.push((t, link_id, rec));
+            for (link_id, bytes) in &landed {
+                snmp.account(*link_id, *bytes);
+            }
+            routed.push(RoutedFlow { src: flow.src, src_as, landed });
+        }
+        // Phase B (sharded): given the placement, each flow's chunking,
+        // sampling, export-loss draw, and record construction depend only
+        // on that flow — shard them and concatenate the per-shard outputs
+        // in canonical flow order.
+        let partials = mcdn_exec::shard_map(&mut routed, threads, |_shard_idx, shard| {
+            let mut shard_flows: Vec<(SimTime, LinkId, FlowRecord)> = Vec::new();
+            let mut shard_losses = 0u64;
+            for flow in shard.iter() {
+                // NetFlow v5 byte counters are 32-bit; routers split
+                // long-lived flows into multiple records (active timeout).
+                // Chunk so the *sampled* count (true/1000) always fits.
+                const MAX_FLOW_BYTES: u64 = 2_000_000_000_000;
+                for &(link_id, bytes) in &flow.landed {
+                    let mut left = bytes;
+                    let mut chunk_i = 0u8;
+                    while left > 0 {
+                        let chunk = left.min(MAX_FLOW_BYTES);
+                        // Subscribers are spread over the ISP's prefix; each
+                        // chunk goes to a different one (distinct flow keys).
+                        let dst = Ipv4Addr::new(
+                            84,
+                            17,
+                            (fnv64(&flow.src.octets()) % 200) as u8,
+                            20u8.wrapping_add(chunk_i),
+                        );
+                        if let Some(sampled) = sampler.sample(chunk, (flow.src, dst, t)) {
+                            let mut key = [0u8; 9];
+                            key[..4].copy_from_slice(&flow.src.octets());
+                            key[4..8].copy_from_slice(&dst.octets());
+                            key[8] = chunk_i;
+                            if profile.netflow_export_lost(link_id.0 as u64, fnv64(&key), t) {
+                                // The exporter sampled the packet but the
+                                // record never reached the collector.
+                                shard_losses += 1;
+                            } else {
+                                let rec = make_record(
+                                    flow.src,
+                                    dst,
+                                    (link_id.0 & 0xFFFF) as u16,
+                                    sampled,
+                                    flow.src_as,
+                                    eyeball,
+                                );
+                                shard_flows.push((t, link_id, rec));
+                            }
                         }
+                        left -= chunk;
+                        chunk_i = chunk_i.wrapping_add(1);
                     }
-                    left -= chunk;
-                    chunk_i = chunk_i.wrapping_add(1);
                 }
             }
+            (shard_flows, shard_losses)
+        });
+        for (shard_flows, shard_losses) in partials {
+            flows.extend(shard_flows);
+            export_losses += shard_losses;
         }
         snmp.poll_filtered(t, |link| {
             if profile.snmp_poll_missed(link.0 as u64, t) {

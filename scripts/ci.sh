@@ -33,4 +33,23 @@ diff -u "$tmpdir/chaos1.txt" "$tmpdir/chaos2.txt"
 grep -q "all invariants held across the grid" "$tmpdir/chaos1.txt"
 echo "    identical ($(wc -l < "$tmpdir/chaos1.txt") lines)"
 
+echo "==> parallel determinism: MCDN_THREADS=1 vs MCDN_THREADS=4"
+MCDN_THREADS=1 cargo run --release -q -p mcdn-analysis --bin mcdn -- campaign global > "$tmpdir/t1.txt"
+MCDN_THREADS=4 cargo run --release -q -p mcdn-analysis --bin mcdn -- campaign global > "$tmpdir/t4.txt"
+diff -u "$tmpdir/t1.txt" "$tmpdir/t4.txt"
+echo "    identical ($(wc -l < "$tmpdir/t1.txt") lines)"
+
+echo "==> bench smoke: BENCH_campaigns.json schema"
+scripts/bench.sh --smoke "$tmpdir/BENCH_campaigns.json" > /dev/null
+grep -q '"schema": "mcdn-bench-campaigns-v1"' "$tmpdir/BENCH_campaigns.json"
+grep -q '"identical_across_threads": true' "$tmpdir/BENCH_campaigns.json"
+if grep -q '"identical_across_threads": false' "$tmpdir/BENCH_campaigns.json"; then
+  echo "    FAIL: some campaign diverged across thread counts"; exit 1
+fi
+for field in thread_counts memo_hit_rate wall_ms speedup_vs_serial; do
+  grep -q "\"$field\"" "$tmpdir/BENCH_campaigns.json" || {
+    echo "    FAIL: missing field $field"; exit 1; }
+done
+echo "    schema OK"
+
 echo "CI OK"

@@ -20,6 +20,7 @@ pub use mcdn_analysis as analysis;
 pub use mcdn_atlas as atlas;
 pub use mcdn_cdn as cdn;
 pub use mcdn_dnssim as dnssim;
+pub use mcdn_exec as exec;
 pub use mcdn_faults as faults;
 pub use mcdn_dnswire as dnswire;
 pub use mcdn_geo as geo;
