@@ -1,11 +1,13 @@
 //! Measurement probes: located clients with their own caching resolvers.
 
 use mcdn_dnssim::{
-    FaultModel, Namespace, QueryContext, RecursiveResolver, ResolutionError, ResolutionTrace,
-    RoundMemo,
+    CompiledNamespace, FaultModel, IResolutionError, IRoundMemo, InternedFaultModel,
+    InternedResolver, Namespace, QueryContext, RecursiveResolver, ResolutionError,
+    ResolutionTrace, ResolveScratch, RoundMemo,
 };
 use mcdn_dnswire::{Name, RecordType};
 use mcdn_faults::RetryPolicy;
+use mcdn_intern::NameId;
 use mcdn_geo::{City, Duration, SimTime};
 use mcdn_netsim::AsId;
 use rand::rngs::SmallRng;
@@ -33,12 +35,13 @@ pub struct Probe {
     /// Placement.
     pub spec: ProbeSpec,
     resolver: RecursiveResolver,
+    iresolver: InternedResolver,
 }
 
 impl Probe {
     /// Creates a probe.
     pub fn new(id: u32, spec: ProbeSpec) -> Probe {
-        Probe { id, spec, resolver: RecursiveResolver::new() }
+        Probe { id, spec, resolver: RecursiveResolver::new(), iresolver: InternedResolver::new() }
     }
 
     /// The query context this probe presents at `now`.
@@ -132,9 +135,54 @@ impl Probe {
         unreachable!("loop always returns on the last attempt")
     }
 
+    /// Like [`Probe::measure_memoized`] on the interned hot path: same
+    /// retry/backoff schedule, same fault-before-memo ordering, zero
+    /// steady-state allocations. The trace of the final attempt is left
+    /// in `scratch.trace()`; the probe's interned cache persists across
+    /// rounds exactly like the string resolver's.
+    #[allow(clippy::too_many_arguments)] // the interned face of measure_impl
+    pub fn measure_interned(
+        &mut self,
+        ns: &CompiledNamespace<'_>,
+        scratch: &mut ResolveScratch,
+        qname: NameId,
+        qtype: RecordType,
+        now: SimTime,
+        faults: &dyn InternedFaultModel,
+        retry: &RetryPolicy,
+        memo: &mut IRoundMemo,
+    ) -> (Result<(), IResolutionError>, u32) {
+        let mut wait = Duration::secs(0);
+        let max = retry.max_attempts.max(1);
+        for attempt in 0..max {
+            wait = wait + retry.backoff_before(attempt);
+            let ctx = self.context(now + wait);
+            let result = self.iresolver.resolve(
+                ns,
+                scratch,
+                qname,
+                qtype,
+                &ctx,
+                faults,
+                attempt,
+                Some(memo),
+            );
+            let retryable = matches!(&result, Err(e) if e.is_transient());
+            if !retryable || attempt + 1 == max {
+                return (result, attempt + 1);
+            }
+        }
+        unreachable!("loop always returns on the last attempt")
+    }
+
     /// Resolver cache statistics `(hits, misses)`.
     pub fn cache_stats(&self) -> (u64, u64) {
         self.resolver.cache_stats()
+    }
+
+    /// Interned-resolver cache statistics `(hits, misses)`.
+    pub fn interned_cache_stats(&self) -> (u64, u64) {
+        self.iresolver.cache_stats()
     }
 }
 

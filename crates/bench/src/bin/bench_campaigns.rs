@@ -7,12 +7,24 @@
 //! workload for CI gating; the default output path is
 //! `BENCH_campaigns.json` in the working directory.
 
+use alloc_counter::CountingAlloc;
+use mcdn_atlas::build_fleet;
+use mcdn_dnssim::{CompiledNamespace, IRoundMemo, NoInternedFaults, ResolveScratch};
+use mcdn_dnswire::RecordType;
+use mcdn_faults::RetryPolicy;
 use mcdn_geo::{Duration, SimTime};
+use mcdn_scenario::classes::{attribute_interned, classify_ip_from_origin, AttributionTable};
 use mcdn_scenario::{
-    run_global_dns_threads, run_isp_dns_threads, run_isp_traffic_threads, ScenarioConfig, World,
+    params, run_global_dns_threads, run_isp_dns_threads, run_isp_traffic_threads, ScenarioConfig,
+    World,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Counts every heap allocation in the process so the steady-state
+/// audit can assert the warm resolve loop performs none.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 /// Wall time and throughput of one run at one worker count.
 struct Run {
@@ -89,18 +101,111 @@ where
     (runs, identical, outputs)
 }
 
+/// Heap traffic of the warm (steady-state) resolve loop.
+struct AllocAudit {
+    resolutions: u64,
+    allocs: u64,
+    bytes: u64,
+}
+
+/// Measures heap allocations per steady-state resolution: one probe with a
+/// warm cache resolving the entry chain at a fixed instant, including CNAME
+/// attribution and flat-LPM origin classification — the exact per-probe work
+/// of a campaign round after the first contact. The gate demands zero.
+fn audit_steady_state(cfg: &ScenarioConfig) -> AllocAudit {
+    let world = World::build(cfg);
+    let cns = CompiledNamespace::compile(&world.ns);
+    let attr = AttributionTable::build(cns.table());
+    let rib = world.topo.compiled_rib();
+    let retry = RetryPolicy::standard();
+    let mut probe = build_fleet(world.global_probe_specs.clone())
+        .into_iter()
+        .next()
+        .expect("world has at least one global probe");
+    let t = cfg.global_start;
+    let entry = metacdn::names::entry();
+    let mut scratch = ResolveScratch::new();
+    let entry_id = cns.intern_in(&mut scratch, &entry);
+    let mut memo = IRoundMemo::new();
+    // Two warm passes: the first fills the probe's cache at `t`, the second
+    // lets every retained scratch buffer reach its steady capacity.
+    for _ in 0..2 {
+        let (result, _) = probe.measure_interned(
+            &cns,
+            &mut scratch,
+            entry_id,
+            RecordType::A,
+            t,
+            &NoInternedFaults,
+            &retry,
+            &mut memo,
+        );
+        assert!(result.is_ok(), "warm-up resolution failed");
+        let _ = attribute_interned(scratch.trace(), &attr, &cns, &scratch);
+    }
+    let resolutions: u64 = 100_000;
+    let mut classified = 0u64;
+    let before = ALLOC.snapshot();
+    for _ in 0..resolutions {
+        let (result, _) = probe.measure_interned(
+            &cns,
+            &mut scratch,
+            entry_id,
+            RecordType::A,
+            t,
+            &NoInternedFaults,
+            &retry,
+            &mut memo,
+        );
+        assert!(result.is_ok());
+        let attribution = attribute_interned(scratch.trace(), &attr, &cns, &scratch);
+        for ip in scratch.trace().addresses() {
+            let origin = rib.lookup(ip).map(|(_, asn)| asn);
+            let class = classify_ip_from_origin(
+                attribution,
+                origin,
+                params::AKAMAI_AS,
+                params::LIMELIGHT_AS,
+                params::APPLE_AS,
+            );
+            classified += u64::from(std::hint::black_box(class) == mcdn_scenario::CdnClass::Other);
+        }
+    }
+    let delta = ALLOC.snapshot().since(before);
+    std::hint::black_box(classified);
+    AllocAudit { resolutions, allocs: delta.allocs, bytes: delta.bytes }
+}
+
 fn json_escape_free(s: &str) -> &str {
     // Every string we emit is a static identifier; keep the writer honest.
     assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || "_-./".contains(c)));
     s
 }
 
-fn write_json(out: &mut String, smoke: bool, counts: &[usize], benches: &[Bench]) {
+fn write_json(
+    out: &mut String,
+    smoke: bool,
+    counts: &[usize],
+    benches: &[Bench],
+    audit: &AllocAudit,
+) {
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"mcdn-bench-campaigns-v1\",");
+    let _ = writeln!(out, "  \"schema\": \"mcdn-bench-campaigns-v2\",");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let counts_s: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
     let _ = writeln!(out, "  \"thread_counts\": [{}],", counts_s.join(", "));
+    let per = audit.resolutions.max(1) as f64;
+    let _ = writeln!(out, "  \"steady_state\": {{");
+    let _ = writeln!(out, "    \"resolutions\": {},", audit.resolutions);
+    let _ = writeln!(out, "    \"allocs\": {},", audit.allocs);
+    let _ = writeln!(out, "    \"bytes\": {},", audit.bytes);
+    let _ = writeln!(
+        out,
+        "    \"allocs_per_resolution\": {:.4},",
+        audit.allocs as f64 / per
+    );
+    let _ = writeln!(out, "    \"bytes_per_resolution\": {:.4}", audit.bytes as f64 / per);
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"campaigns\": [");
     for (i, b) in benches.iter().enumerate() {
         let serial = b.runs.first().map(|r| r.wall_ms).unwrap_or(0.0);
@@ -197,9 +302,16 @@ fn main() {
         identical,
     });
 
+    eprintln!("bench_campaigns: auditing steady-state allocations");
+    let audit = audit_steady_state(&cfg);
+    eprintln!(
+        "  steady_state resolutions={} allocs={} bytes={}",
+        audit.resolutions, audit.allocs, audit.bytes
+    );
+
     let all_identical = benches.iter().all(|b| b.identical);
     let mut json = String::new();
-    write_json(&mut json, smoke, &counts, &benches);
+    write_json(&mut json, smoke, &counts, &benches, &audit);
     std::fs::write(&out_path, &json).expect("write BENCH json");
     for b in &benches {
         let serial = b.runs.first().map(|r| r.wall_ms).unwrap_or(0.0);
@@ -217,6 +329,14 @@ fn main() {
     eprintln!("bench_campaigns: wrote {out_path}");
     if !all_identical {
         eprintln!("bench_campaigns: FAIL — outputs differ across thread counts");
+        std::process::exit(1);
+    }
+    if audit.allocs != 0 {
+        eprintln!(
+            "bench_campaigns: FAIL — steady-state resolve loop allocated \
+             ({} allocs / {} bytes over {} resolutions)",
+            audit.allocs, audit.bytes, audit.resolutions
+        );
         std::process::exit(1);
     }
 }

@@ -463,9 +463,10 @@ pub fn pick_weighted(
     if total <= 0.0 {
         return None;
     }
-    let mut key = client_ip.octets().to_vec();
-    key.extend_from_slice(&(now.as_secs() / SELECT_BUCKET_SECS).to_be_bytes());
-    key.push(salt);
+    let mut key = [0u8; 13];
+    key[..4].copy_from_slice(&client_ip.octets());
+    key[4..12].copy_from_slice(&(now.as_secs() / SELECT_BUCKET_SECS).to_be_bytes());
+    key[12] = salt;
     let u = (fnv64(&key) % 1_000_000) as f64 / 1_000_000.0;
     let mut acc = 0.0;
     for (k, p) in probs {

@@ -1,0 +1,1241 @@
+//! The interned, zero-allocation resolution hot path.
+//!
+//! The string-keyed resolver ([`crate::resolver::RecursiveResolver`])
+//! clones [`Name`]s into cache keys, memo keys, and trace steps on every
+//! hop of every resolution — fine for correctness work, but it dominates
+//! the campaign engine's profile. This module compiles a [`Namespace`]
+//! into an id-keyed form once per campaign and runs the whole hot loop on
+//! `u32` [`NameId`]s:
+//!
+//! * [`CompiledNamespace`] interns every name the namespace can mention
+//!   into a shared [`NameTable`] and precomputes, per name, its
+//!   authoritative zone, declared [`PolicyScope`], existence bit, and
+//!   display-form FNV-1a digest (the fault-key prefix). Static record
+//!   sets become flat arena slices; dynamic [`MappingPolicy`] hooks are
+//!   kept as borrowed trait objects.
+//! * [`InternedResolver`] replays the exact decision sequence of
+//!   `resolve_inner` — cache, fault hook, memo, authoritative query —
+//!   against id-keyed structures, writing answers and trace steps into a
+//!   caller-owned [`ResolveScratch`] instead of allocating. Once its
+//!   per-probe [`ICache`] and the scratch buffers are warm, a resolution
+//!   performs **zero heap allocations** (the bench gate in
+//!   `bench_campaigns` asserts this).
+//! * [`IRoundMemo`] is the id-keyed [`RoundMemo`](crate::RoundMemo):
+//!   per-shard, cleared per round, canonicalized back to [`Name`]-keyed
+//!   counts at round end so cross-shard merging (and therefore output)
+//!   is unchanged.
+//!
+//! Names that are *not* in the compiled table (a caller querying a name
+//! the namespace never mentions) spill into a per-scratch overlay
+//! interner; the workspace namespaces intern everything at compile time,
+//! so the overlay stays empty on the hot path.
+//!
+//! Equivalence with the string path is enforced by tests in this module
+//! (trace-for-trace, cache-state-for-cache-state, memo-count-for-count)
+//! and by the campaign-level reference test in `mcdn-scenario`.
+
+use crate::cache::NEGATIVE_TTL;
+use crate::context::QueryContext;
+use crate::faults::UpstreamFault;
+use crate::memo::{MemoKey, MemoScope};
+use crate::resolver::{ResolutionTrace, TraceStep, MAX_CHAIN};
+use crate::zone::{MappingPolicy, Namespace, PolicyScope, ZoneAnswer};
+use mcdn_dnswire::{Name, RData, RecordType, ResourceRecord};
+use mcdn_geo::{Duration, SimTime};
+use mcdn_intern::{display_fnv, NameId, NameTable};
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Interned record data: the two variants the resolver inspects, plus an
+/// opaque catch-all carrying the wire type (enough for terminal-answer
+/// checks; the payload of non-A/CNAME records is never read on the hot
+/// path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IRData {
+    /// An IPv4 address record.
+    A(Ipv4Addr),
+    /// A CNAME redirect to another interned name.
+    Cname(NameId),
+    /// Any other record type, by wire value.
+    Opaque(u16),
+}
+
+/// An interned resource record. `Copy`, so answer buffers and arenas
+/// move records without touching the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IRecord {
+    /// Owner name.
+    pub name: NameId,
+    /// Time to live, seconds.
+    pub ttl: u32,
+    /// The record data.
+    pub rdata: IRData,
+}
+
+impl IRecord {
+    /// The record type's wire value (A = 1, CNAME = 5, else the stored
+    /// opaque value).
+    pub fn rtype_u16(&self) -> u16 {
+        match self.rdata {
+            IRData::A(_) => RecordType::A.to_u16(),
+            IRData::Cname(_) => RecordType::Cname.to_u16(),
+            IRData::Opaque(t) => t,
+        }
+    }
+}
+
+/// Per-name facts precomputed at compile time (and lazily for overlay
+/// names): which zone answers for it, how its answers scope, and whether
+/// it exists there (NXDOMAIN vs NODATA).
+#[derive(Debug, Clone, Copy)]
+struct CompiledMeta {
+    /// Index into [`CompiledNamespace::zones`] of the authoritative zone.
+    authority: Option<u16>,
+    /// Declared answer scope at this name ([`Zone::scope_of`](crate::Zone::scope_of)).
+    scope: PolicyScope,
+    /// Whether the authoritative zone has any record or policy here.
+    exists: bool,
+}
+
+/// One zone in compiled form: statics as arena slices, policies as
+/// borrowed hooks.
+struct CompiledZone<'a> {
+    /// Interned zone origin.
+    origin: NameId,
+    /// Dynamic mapping policies by interned owner id.
+    policies: HashMap<u32, &'a dyn MappingPolicy>,
+    /// Static record sets: `(owner id, wire qtype) → arena range`.
+    statics: HashMap<(u32, u16), (u32, u32)>,
+    /// Backing storage for all static record sets.
+    arena: Vec<IRecord>,
+}
+
+/// Internal query outcome; records (for the `Records` case) are written
+/// into the caller's buffer.
+enum IAnswer {
+    Records,
+    NoData,
+    NxDomain,
+}
+
+/// The result of replicating [`Namespace::authority_for`]: index of the
+/// most specific zone, breaking label-count ties like
+/// `Iterator::max_by_key` (last maximum wins).
+fn authority_index(ns: &Namespace, name: &Name) -> Option<u16> {
+    let mut best: Option<(usize, usize)> = None;
+    for (i, z) in ns.zones().iter().enumerate() {
+        if name.is_within(z.origin()) {
+            let labels = z.origin().label_count();
+            let better = match best {
+                Some((best_labels, _)) => labels >= best_labels,
+                None => true,
+            };
+            if better {
+                best = Some((labels, i));
+            }
+        }
+    }
+    best.map(|(_, i)| i as u16)
+}
+
+fn meta_for(ns: &Namespace, name: &Name) -> CompiledMeta {
+    let authority = authority_index(ns, name);
+    let (scope, exists) = match authority {
+        Some(i) => {
+            let z = &ns.zones()[i as usize];
+            (z.scope_of(name), z.contains_name(name))
+        }
+        None => (PolicyScope::Global, false),
+    };
+    CompiledMeta { authority, scope, exists }
+}
+
+/// Overflow interner for names outside the compiled table, owned by a
+/// [`ResolveScratch`]. Ids continue past the table (`table.len() + i`).
+/// The workspace namespaces intern everything at compile time, so this
+/// stays empty in the campaign engine; it exists so arbitrary queries
+/// (tests, ad-hoc probes) remain correct rather than panicking.
+#[derive(Debug, Default)]
+pub struct Overlay {
+    ids: HashMap<Name, u32>,
+    names: Vec<Name>,
+    fnvs: Vec<u64>,
+    meta: Vec<CompiledMeta>,
+}
+
+impl Overlay {
+    /// Names interned past the shared table, in id order.
+    pub fn names(&self) -> &[Name] {
+        &self.names
+    }
+}
+
+/// A namespace compiled for the interned hot path. Borrows the
+/// [`Namespace`] (policies stay where they live); build one per campaign
+/// and share it read-only across shards.
+pub struct CompiledNamespace<'a> {
+    ns: &'a Namespace,
+    table: NameTable,
+    meta: Vec<CompiledMeta>,
+    zones: Vec<CompiledZone<'a>>,
+}
+
+impl std::fmt::Debug for CompiledNamespace<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledNamespace")
+            .field("names", &self.table.len())
+            .field("zones", &self.zones.len())
+            .finish()
+    }
+}
+
+fn compiled_rr(table: &NameTable, rr: &ResourceRecord) -> IRecord {
+    let name = table.get(&rr.name).expect("owner interned during compile pass 1");
+    let rdata = match &rr.rdata {
+        RData::A(a) => IRData::A(*a),
+        RData::Cname(t) => IRData::Cname(table.get(t).expect("target interned during compile pass 1")),
+        other => IRData::Opaque(other.rtype().to_u16()),
+    };
+    IRecord { name, ttl: rr.ttl, rdata }
+}
+
+impl<'a> CompiledNamespace<'a> {
+    /// Compiles `ns`: interns every origin, record owner, CNAME target,
+    /// and policy owner, then freezes static record sets into per-zone
+    /// arenas and precomputes per-name authority/scope/existence/FNV.
+    pub fn compile(ns: &'a Namespace) -> CompiledNamespace<'a> {
+        let mut table = NameTable::new();
+        // Pass 1: intern, in a deterministic order (zone installation
+        // order, then sorted record-set keys / policy owners — the
+        // underlying maps iterate in arbitrary order).
+        for zone in ns.zones() {
+            table.intern(zone.origin());
+            let mut sets: Vec<(&Name, u16, &[ResourceRecord])> = zone.record_sets().collect();
+            sets.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+            for (name, _, rrs) in &sets {
+                table.intern(name);
+                for rr in *rrs {
+                    if let RData::Cname(target) = &rr.rdata {
+                        table.intern(target);
+                    }
+                }
+            }
+            let mut owners: Vec<&Name> = zone.policy_entries().map(|(n, _)| n).collect();
+            owners.sort();
+            for owner in owners {
+                table.intern(owner);
+            }
+        }
+        table.shrink_to_fit();
+        // Pass 2: freeze each zone.
+        let zones: Vec<CompiledZone<'a>> = ns
+            .zones()
+            .iter()
+            .map(|zone| {
+                let origin = table.get(zone.origin()).expect("origin interned");
+                let mut sets: Vec<(&Name, u16, &[ResourceRecord])> = zone.record_sets().collect();
+                sets.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+                let mut arena = Vec::with_capacity(sets.iter().map(|(_, _, rrs)| rrs.len()).sum());
+                let mut statics = HashMap::with_capacity(sets.len());
+                for (name, qtype, rrs) in sets {
+                    let id = table.get(name).expect("owner interned");
+                    let start = arena.len() as u32;
+                    arena.extend(rrs.iter().map(|rr| compiled_rr(&table, rr)));
+                    statics.insert((id.0, qtype), (start, arena.len() as u32));
+                }
+                let policies = zone
+                    .policy_entries()
+                    .map(|(name, policy)| {
+                        (table.get(name).expect("owner interned").0, &**policy)
+                    })
+                    .collect();
+                CompiledZone { origin, policies, statics, arena }
+            })
+            .collect();
+        // Pass 3: per-name metadata.
+        let meta = table.iter().map(|(_, name)| meta_for(ns, name)).collect();
+        CompiledNamespace { ns, table, meta, zones }
+    }
+
+    /// The shared name table (read-only after compile).
+    pub fn table(&self) -> &NameTable {
+        &self.table
+    }
+
+    /// The namespace this was compiled from.
+    pub fn namespace(&self) -> &'a Namespace {
+        self.ns
+    }
+
+    /// The id for `name`, interning into the scratch overlay if the
+    /// compiled table does not know it.
+    pub fn intern_in(&self, scratch: &mut ResolveScratch, name: &Name) -> NameId {
+        self.id_of(&mut scratch.overlay, name)
+    }
+
+    fn id_of(&self, overlay: &mut Overlay, name: &Name) -> NameId {
+        if let Some(id) = self.table.get(name) {
+            return id;
+        }
+        let base = self.table.len() as u32;
+        if let Some(&off) = overlay.ids.get(name) {
+            return NameId(base + off);
+        }
+        let off = overlay.names.len() as u32;
+        overlay.ids.insert(name.clone(), off);
+        overlay.names.push(name.clone());
+        overlay.fnvs.push(display_fnv(name));
+        overlay.meta.push(meta_for(self.ns, name));
+        NameId(base + off)
+    }
+
+    fn meta_of(&self, overlay: &Overlay, id: NameId) -> CompiledMeta {
+        let idx = id.index();
+        if idx < self.table.len() {
+            self.meta[idx]
+        } else {
+            overlay.meta[idx - self.table.len()]
+        }
+    }
+
+    /// The FNV-1a digest of the name's display form (the fault-key
+    /// prefix), precomputed at intern time.
+    pub fn fnv_in(&self, scratch: &ResolveScratch, id: NameId) -> u64 {
+        let idx = id.index();
+        if idx < self.table.len() {
+            self.table.fnv(id)
+        } else {
+            scratch.overlay.fnvs[idx - self.table.len()]
+        }
+    }
+
+    /// The name behind `id`, whether table or overlay.
+    pub fn name_in<'s>(&'s self, scratch: &'s ResolveScratch, id: NameId) -> &'s Name {
+        let idx = id.index();
+        if idx < self.table.len() {
+            self.table.name(id)
+        } else {
+            &scratch.overlay.names[idx - self.table.len()]
+        }
+    }
+
+    fn runtime_rr(&self, overlay: &mut Overlay, rr: &ResourceRecord) -> IRecord {
+        let name = self.id_of(overlay, &rr.name);
+        let rdata = match &rr.rdata {
+            RData::A(a) => IRData::A(*a),
+            RData::Cname(t) => IRData::Cname(self.id_of(overlay, t)),
+            other => IRData::Opaque(other.rtype().to_u16()),
+        };
+        IRecord { name, ttl: rr.ttl, rdata }
+    }
+
+    /// Replicates [`Namespace::query`] against the compiled form, writing
+    /// any records into `out`.
+    fn query_into(
+        &self,
+        overlay: &mut Overlay,
+        out: &mut Vec<IRecord>,
+        current: NameId,
+        qtype: RecordType,
+        ctx: &QueryContext,
+    ) -> (IAnswer, Option<NameId>) {
+        out.clear();
+        let meta = self.meta_of(overlay, current);
+        let Some(zi) = meta.authority else {
+            return (IAnswer::NxDomain, None);
+        };
+        let zone = &self.zones[zi as usize];
+        let origin = zone.origin;
+        let idx = current.index();
+        if idx < self.table.len() {
+            if let Some(policy) = zone.policies.get(&current.0) {
+                // The policy's own Vec allocation is its internal business
+                // (workspace policies answer from precomputed state); the
+                // records are immediately re-interned into the scratch.
+                for rr in policy.respond(qtype, ctx) {
+                    let ir = self.runtime_rr(overlay, &rr);
+                    out.push(ir);
+                }
+                return (IAnswer::Records, Some(origin));
+            }
+            if let Some(&(s, e)) = zone.statics.get(&(current.0, qtype.to_u16())) {
+                out.extend_from_slice(&zone.arena[s as usize..e as usize]);
+                return (IAnswer::Records, Some(origin));
+            }
+            if qtype != RecordType::Cname {
+                if let Some(&(s, e)) = zone.statics.get(&(current.0, RecordType::Cname.to_u16())) {
+                    out.extend_from_slice(&zone.arena[s as usize..e as usize]);
+                    return (IAnswer::Records, Some(origin));
+                }
+            }
+            if meta.exists {
+                (IAnswer::NoData, Some(origin))
+            } else {
+                (IAnswer::NxDomain, Some(origin))
+            }
+        } else {
+            // Overlay name: cold path through the string-keyed zone.
+            let name = overlay.names[idx - self.table.len()].clone();
+            match self.ns.zones()[zi as usize].answer(&name, qtype, ctx) {
+                ZoneAnswer::Records(rrs) => {
+                    for rr in &rrs {
+                        let ir = self.runtime_rr(overlay, rr);
+                        out.push(ir);
+                    }
+                    (IAnswer::Records, Some(origin))
+                }
+                ZoneAnswer::NoData => (IAnswer::NoData, Some(origin)),
+                ZoneAnswer::NxDomain => (IAnswer::NxDomain, Some(origin)),
+            }
+        }
+    }
+
+    /// Rebuilds a string-keyed [`ResolutionTrace`] from an interned one
+    /// (tests, debugging, ad-hoc inspection — allocates freely). Lossy
+    /// only for non-A/CNAME rdata, which materializes as an empty
+    /// `RData::Other` of the same wire type.
+    pub fn materialize_trace(&self, scratch: &ResolveScratch, trace: &ITrace) -> ResolutionTrace {
+        let steps = trace
+            .steps()
+            .iter()
+            .map(|step| TraceStep {
+                qname: self.name_in(scratch, step.qname).clone(),
+                qtype: step.qtype,
+                records: trace
+                    .records_of(step)
+                    .iter()
+                    .map(|r| {
+                        let rdata = match r.rdata {
+                            IRData::A(a) => RData::A(a),
+                            IRData::Cname(t) => RData::Cname(self.name_in(scratch, t).clone()),
+                            IRData::Opaque(t) => RData::Other(t, Vec::new()),
+                        };
+                        ResourceRecord::new(self.name_in(scratch, r.name).clone(), r.ttl, rdata)
+                    })
+                    .collect(),
+                from_cache: step.from_cache,
+                zone: step.zone.map(|z| self.name_in(scratch, z).clone()),
+            })
+            .collect();
+        ResolutionTrace { steps }
+    }
+}
+
+/// One step of an interned trace; records live in the trace's arena.
+#[derive(Debug, Clone, Copy)]
+pub struct ITraceStep {
+    /// The name queried at this step.
+    pub qname: NameId,
+    /// The type queried.
+    pub qtype: RecordType,
+    rec_start: u32,
+    rec_end: u32,
+    /// Whether the answer came from the probe's cache.
+    pub from_cache: bool,
+    /// Origin of the answering zone (authoritative answers only).
+    pub zone: Option<NameId>,
+}
+
+/// An interned resolution trace: steps plus a flat record arena, both
+/// reused across resolutions.
+#[derive(Debug, Default)]
+pub struct ITrace {
+    steps: Vec<ITraceStep>,
+    records: Vec<IRecord>,
+}
+
+impl ITrace {
+    fn clear(&mut self) {
+        self.steps.clear();
+        self.records.clear();
+    }
+
+    fn push(
+        &mut self,
+        qname: NameId,
+        qtype: RecordType,
+        records: &[IRecord],
+        from_cache: bool,
+        zone: Option<NameId>,
+    ) {
+        let rec_start = self.records.len() as u32;
+        self.records.extend_from_slice(records);
+        self.steps.push(ITraceStep {
+            qname,
+            qtype,
+            rec_start,
+            rec_end: self.records.len() as u32,
+            from_cache,
+            zone,
+        });
+    }
+
+    /// The steps, in resolution order.
+    pub fn steps(&self) -> &[ITraceStep] {
+        &self.steps
+    }
+
+    /// The records answered at `step`.
+    pub fn records_of(&self, step: &ITraceStep) -> &[IRecord] {
+        &self.records[step.rec_start as usize..step.rec_end as usize]
+    }
+
+    /// Every A-record address in the trace, in step-then-record order —
+    /// the interned [`ResolutionTrace::addresses`].
+    pub fn addresses(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.records.iter().filter_map(|r| match r.rdata {
+            IRData::A(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Caller-owned scratch state for interned resolution: the answer
+/// buffer, the trace arena, and the overlay interner. One per shard,
+/// reused across every probe and round — this is what makes the
+/// steady-state loop allocation-free.
+#[derive(Debug, Default)]
+pub struct ResolveScratch {
+    overlay: Overlay,
+    answer: Vec<IRecord>,
+    trace: ITrace,
+}
+
+impl ResolveScratch {
+    /// Fresh scratch state.
+    pub fn new() -> ResolveScratch {
+        ResolveScratch::default()
+    }
+
+    /// The trace of the most recent resolution.
+    pub fn trace(&self) -> &ITrace {
+        &self.trace
+    }
+
+    /// The overlay interner (names outside the compiled table).
+    pub fn overlay(&self) -> &Overlay {
+        &self.overlay
+    }
+}
+
+#[derive(Debug)]
+struct IEntry {
+    records: Vec<IRecord>,
+    expires: SimTime,
+}
+
+/// The id-keyed TTL cache: [`crate::Cache`] semantics (absolute expiry,
+/// remaining-TTL clamp on hit, min-TTL/negative-TTL expiry on store)
+/// without `Name` clones. Entry buffers are reused on re-store, so a
+/// warm cache neither allocates nor frees.
+#[derive(Debug, Default)]
+pub struct ICache {
+    entries: HashMap<(u32, u16), IEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ICache {
+    /// Looks up `id`/`qtype` at `now`, writing the records (TTLs clamped
+    /// to the remaining lifetime) into `out` on a hit.
+    fn get_into(&mut self, id: NameId, qtype: u16, now: SimTime, out: &mut Vec<IRecord>) -> bool {
+        let key = (id.0, qtype);
+        match self.entries.get(&key) {
+            Some(e) if now < e.expires => {
+                self.hits += 1;
+                let remaining = e.expires.since(now).as_secs() as u32;
+                out.clear();
+                out.extend(e.records.iter().map(|r| IRecord { ttl: r.ttl.min(remaining), ..*r }));
+                true
+            }
+            _ => {
+                self.misses += 1;
+                self.entries.remove(&key);
+                false
+            }
+        }
+    }
+
+    fn put(&mut self, id: NameId, qtype: u16, records: &[IRecord], now: SimTime) {
+        let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(NEGATIVE_TTL);
+        let expires = now + Duration::secs(ttl as u64);
+        match self.entries.entry((id.0, qtype)) {
+            MapEntry::Occupied(mut o) => {
+                let e = o.get_mut();
+                e.records.clear();
+                e.records.extend_from_slice(records);
+                e.expires = expires;
+            }
+            MapEntry::Vacant(v) => {
+                v.insert(IEntry { records: records.to_vec(), expires });
+            }
+        }
+    }
+
+    /// `(hits, misses)` counters, mirroring
+    /// [`Cache`](crate::Cache) accounting.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of live plus expired entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// An id-keyed memo key: the interned form of [`MemoKey`].
+pub type IMemoKey = (NameId, RecordType, MemoScope, SimTime);
+
+#[derive(Debug)]
+struct IMemoEntry {
+    start: u32,
+    end: u32,
+    zone: Option<NameId>,
+    /// Queries served under this key, including the miss that stored it.
+    lookups: u64,
+}
+
+/// One round's scope-stable answers, id-keyed, with a shared record
+/// arena. [`IRoundMemo::clear`] resets it for the next round while
+/// keeping capacity, and [`IRoundMemo::counts_into`] canonicalizes the
+/// per-key lookup counts back to [`Name`]-keyed [`MemoKey`]s so the
+/// engine's cross-shard merge (and therefore every output) is unchanged
+/// from the string path.
+#[derive(Debug, Default)]
+pub struct IRoundMemo {
+    entries: HashMap<IMemoKey, IMemoEntry>,
+    arena: Vec<IRecord>,
+}
+
+impl IRoundMemo {
+    /// An empty memo.
+    pub fn new() -> IRoundMemo {
+        IRoundMemo::default()
+    }
+
+    /// Resets for a new round, retaining allocated capacity.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.arena.clear();
+    }
+
+    fn replay_into(&mut self, key: &IMemoKey, out: &mut Vec<IRecord>) -> Option<Option<NameId>> {
+        self.entries.get_mut(key).map(|e| {
+            e.lookups += 1;
+            out.clear();
+            out.extend_from_slice(&self.arena[e.start as usize..e.end as usize]);
+            e.zone
+        })
+    }
+
+    fn store(&mut self, key: IMemoKey, records: &[IRecord], zone: Option<NameId>) {
+        let start = self.arena.len() as u32;
+        self.arena.extend_from_slice(records);
+        self.entries.insert(
+            key,
+            IMemoEntry { start, end: self.arena.len() as u32, zone, lookups: 1 },
+        );
+    }
+
+    /// Number of distinct memoized answers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been memoized.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total lookups of memoizable keys (hits plus storing misses).
+    pub fn lookups(&self) -> u64 {
+        self.entries.values().map(|e| e.lookups).sum()
+    }
+
+    /// Lookups served from the memo (this shard's local view).
+    pub fn hits(&self) -> u64 {
+        self.lookups() - self.entries.len() as u64
+    }
+
+    /// Adds this memo's per-key lookup counts to `out` under canonical
+    /// [`Name`]-keyed [`MemoKey`]s — the same shape
+    /// [`RoundMemo::into_counts`](crate::RoundMemo::into_counts)
+    /// produces, so engine merging is unchanged. Cold path, once per
+    /// shard-round.
+    pub fn counts_into(
+        &self,
+        ns: &CompiledNamespace<'_>,
+        scratch: &ResolveScratch,
+        out: &mut HashMap<MemoKey, u64>,
+    ) {
+        for (&(id, qtype, scope, t), e) in &self.entries {
+            let name = ns.name_in(scratch, id).clone();
+            *out.entry((name, qtype, scope, t)).or_insert(0) += e.lookups;
+        }
+    }
+}
+
+/// The interned [`ResolutionError`](crate::ResolutionError): same
+/// variants, id-typed names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IResolutionError {
+    /// A name in the chain does not exist.
+    NxDomain(NameId),
+    /// The CNAME chain exceeded [`MAX_CHAIN`] hops.
+    ChainTooLong,
+    /// The authoritative side failed (injected fault).
+    ServFail(NameId),
+    /// The query timed out (injected fault).
+    Timeout(NameId),
+}
+
+impl IResolutionError {
+    /// Whether a retry could plausibly succeed — exactly
+    /// [`ResolutionError::is_transient`](crate::ResolutionError::is_transient).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, IResolutionError::ServFail(_) | IResolutionError::Timeout(_))
+    }
+}
+
+/// The id-keyed fault hook. The resolver hands over the precomputed
+/// display-FNV digests of the zone origin and query name — the exact
+/// values the string path derives by hashing `Display` output — so fault
+/// models reproduce their keys without formatting anything.
+pub trait InternedFaultModel {
+    /// Consulted once per authoritative query; returning a fault aborts
+    /// the resolution with the corresponding transient error.
+    fn upstream_fault(
+        &self,
+        zone: NameId,
+        zone_fnv: u64,
+        qname: NameId,
+        qname_fnv: u64,
+        ctx: &QueryContext,
+        attempt: u32,
+    ) -> Option<UpstreamFault>;
+}
+
+/// The quiet fault model: never faults.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoInternedFaults;
+
+impl InternedFaultModel for NoInternedFaults {
+    fn upstream_fault(
+        &self,
+        _zone: NameId,
+        _zone_fnv: u64,
+        _qname: NameId,
+        _qname_fnv: u64,
+        _ctx: &QueryContext,
+        _attempt: u32,
+    ) -> Option<UpstreamFault> {
+        None
+    }
+}
+
+impl<F> InternedFaultModel for F
+where
+    F: Fn(NameId, u64, NameId, u64, &QueryContext, u32) -> Option<UpstreamFault> + Send + Sync,
+{
+    fn upstream_fault(
+        &self,
+        zone: NameId,
+        zone_fnv: u64,
+        qname: NameId,
+        qname_fnv: u64,
+        ctx: &QueryContext,
+        attempt: u32,
+    ) -> Option<UpstreamFault> {
+        self(zone, zone_fnv, qname, qname_fnv, ctx, attempt)
+    }
+}
+
+/// The interned recursive resolver: the exact decision sequence of
+/// [`RecursiveResolver`](crate::RecursiveResolver) (cache → fault hook →
+/// memo → authoritative query; NXDOMAIN never cached or memoized) over
+/// id-keyed state. Owns the per-probe [`ICache`]; everything else comes
+/// in through the [`ResolveScratch`].
+#[derive(Debug, Default)]
+pub struct InternedResolver {
+    cache: ICache,
+}
+
+impl InternedResolver {
+    /// A resolver with an empty cache.
+    pub fn new() -> InternedResolver {
+        InternedResolver::default()
+    }
+
+    /// Resolves `qname`/`qtype`, leaving the trace in `scratch.trace()`.
+    /// Steady-state (warm cache, warm scratch) this performs zero heap
+    /// allocations.
+    #[allow(clippy::too_many_arguments)] // the superset driver, like resolve_inner
+    pub fn resolve(
+        &mut self,
+        ns: &CompiledNamespace<'_>,
+        scratch: &mut ResolveScratch,
+        qname: NameId,
+        qtype: RecordType,
+        ctx: &QueryContext,
+        faults: &dyn InternedFaultModel,
+        attempt: u32,
+        mut memo: Option<&mut IRoundMemo>,
+    ) -> Result<(), IResolutionError> {
+        scratch.trace.clear();
+        let mut current = qname;
+        for _ in 0..MAX_CHAIN {
+            let from_cache;
+            let mut zone = None;
+            if self.cache.get_into(current, qtype.to_u16(), ctx.now, &mut scratch.answer) {
+                from_cache = true;
+            } else {
+                from_cache = false;
+                let meta = ns.meta_of(&scratch.overlay, current);
+                if let Some(zi) = meta.authority {
+                    let zorigin = ns.zones[zi as usize].origin;
+                    let zone_fnv = ns.fnv_in(scratch, zorigin);
+                    let qname_fnv = ns.fnv_in(scratch, current);
+                    if let Some(fault) =
+                        faults.upstream_fault(zorigin, zone_fnv, current, qname_fnv, ctx, attempt)
+                    {
+                        scratch.trace.push(current, qtype, &[], false, Some(zorigin));
+                        return Err(match fault {
+                            UpstreamFault::ServFail => IResolutionError::ServFail(current),
+                            UpstreamFault::Timeout => IResolutionError::Timeout(current),
+                        });
+                    }
+                }
+                let memo_key = if memo.is_some() {
+                    MemoScope::for_query(meta.scope, ctx.locode)
+                        .map(|scope| (current, qtype, scope, ctx.now))
+                } else {
+                    None
+                };
+                let mut replayed = None;
+                if let (Some(m), Some(key)) = (memo.as_deref_mut(), memo_key.as_ref()) {
+                    replayed = m.replay_into(key, &mut scratch.answer);
+                }
+                match replayed {
+                    Some(z) => {
+                        self.cache.put(current, qtype.to_u16(), &scratch.answer, ctx.now);
+                        zone = z;
+                    }
+                    None => {
+                        let (ans, z) = ns.query_into(
+                            &mut scratch.overlay,
+                            &mut scratch.answer,
+                            current,
+                            qtype,
+                            ctx,
+                        );
+                        match ans {
+                            IAnswer::Records => {
+                                self.cache.put(current, qtype.to_u16(), &scratch.answer, ctx.now);
+                                if let (Some(m), Some(key)) = (memo.as_deref_mut(), memo_key) {
+                                    m.store(key, &scratch.answer, z);
+                                }
+                                zone = z;
+                            }
+                            IAnswer::NoData => {
+                                scratch.answer.clear();
+                                self.cache.put(current, qtype.to_u16(), &[], ctx.now);
+                                if let (Some(m), Some(key)) = (memo.as_deref_mut(), memo_key) {
+                                    m.store(key, &[], z);
+                                }
+                                zone = z;
+                            }
+                            IAnswer::NxDomain => {
+                                scratch.answer.clear();
+                                scratch.trace.push(current, qtype, &[], false, None);
+                                return Err(IResolutionError::NxDomain(current));
+                            }
+                        }
+                    }
+                }
+            }
+            let next = if qtype != RecordType::Cname {
+                scratch.answer.iter().find_map(|r| match r.rdata {
+                    IRData::Cname(t) => Some(t),
+                    _ => None,
+                })
+            } else {
+                None
+            };
+            let terminal = scratch.answer.iter().any(|r| r.rtype_u16() == qtype.to_u16());
+            scratch.trace.push(current, qtype, &scratch.answer, from_cache, zone);
+            match next {
+                Some(target) if !terminal => current = target,
+                _ => return Ok(()),
+            }
+        }
+        Err(IResolutionError::ChainTooLong)
+    }
+
+    /// Resolver cache statistics `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Drops all cached entries (counters survive), mirroring
+    /// [`RecursiveResolver::flush`](crate::RecursiveResolver::flush).
+    pub fn flush(&mut self) {
+        self.cache.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::NoFaults;
+    use crate::resolver::{RecursiveResolver, ResolutionError};
+    use crate::zone::Zone;
+    use crate::RoundMemo;
+    use mcdn_geo::{Continent, Coord, Locode};
+    use std::sync::Arc;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn ctx(last_octet: u8, locode: &str, continent: Continent, now: SimTime) -> QueryContext {
+        QueryContext {
+            client_ip: Ipv4Addr::new(198, 51, 100, last_octet),
+            locode: Locode::parse(locode).unwrap(),
+            coord: Coord::new(0.0, 0.0),
+            continent,
+            now,
+        }
+    }
+
+    /// A miniature Meta-CDN chain: static entry CNAME → City-scoped geo
+    /// split → Client-scoped GSLB → static A records. Exercises every
+    /// answer path (policy, static, CNAME fallback, NODATA, NXDOMAIN).
+    fn build_ns() -> Namespace {
+        let mut ns = Namespace::new();
+
+        let mut apple = Zone::new(n("apple.com"));
+        apple.add_cname("appldnld.apple.com", "appldnld.apple.com.akadns.net", 21600);
+        apple.add_a("static.apple.com", Ipv4Addr::new(17, 1, 1, 1), 300);
+        ns.add_zone(apple);
+
+        let mut akadns = Zone::new(n("apple.com.akadns.net"));
+        akadns.set_policy_scoped(
+            n("appldnld.apple.com.akadns.net"),
+            Arc::new(|qtype: RecordType, ctx: &QueryContext| {
+                if qtype != RecordType::A {
+                    return Vec::new(); // IPv4-only mapping
+                }
+                let target = match ctx.continent {
+                    Continent::Europe => "eu.g.applimg.com",
+                    _ => "us.g.applimg.com",
+                };
+                vec![ResourceRecord::new(
+                    n("appldnld.apple.com.akadns.net"),
+                    120,
+                    RData::Cname(n(target)),
+                )]
+            }),
+            PolicyScope::City,
+        );
+        ns.add_zone(akadns);
+
+        let mut applimg = Zone::new(n("applimg.com"));
+        for region in ["eu", "us"] {
+            let owner = n(&format!("{region}.g.applimg.com"));
+            let record_owner = owner.clone();
+            applimg.set_policy(
+                owner,
+                Arc::new(move |qtype: RecordType, ctx: &QueryContext| {
+                    if qtype != RecordType::A {
+                        return Vec::new();
+                    }
+                    let gslb = if ctx.client_ip.octets()[3] % 2 == 0 { "a" } else { "b" };
+                    vec![ResourceRecord::new(
+                        record_owner.clone(),
+                        15,
+                        RData::Cname(Name::parse(&format!("{gslb}.gslb.applimg.com")).unwrap()),
+                    )]
+                }),
+            );
+        }
+        applimg.add_a("a.gslb.applimg.com", Ipv4Addr::new(17, 253, 1, 1), 20);
+        applimg.add_a("a.gslb.applimg.com", Ipv4Addr::new(17, 253, 1, 2), 20);
+        applimg.add_a("b.gslb.applimg.com", Ipv4Addr::new(17, 253, 9, 9), 20);
+        ns.add_zone(applimg);
+
+        ns
+    }
+
+    /// Resolves on both paths and asserts trace + result + cache stats
+    /// agree.
+    #[allow(clippy::too_many_arguments)]
+    fn assert_equiv(
+        ns: &Namespace,
+        cns: &CompiledNamespace<'_>,
+        string: &mut RecursiveResolver,
+        interned: &mut InternedResolver,
+        scratch: &mut ResolveScratch,
+        qname: &Name,
+        qtype: RecordType,
+        ctx: &QueryContext,
+    ) {
+        let (want_trace, want_result) = string.resolve(ns, qname, qtype, ctx);
+        let id = cns.intern_in(scratch, qname);
+        let got = interned.resolve(cns, scratch, id, qtype, ctx, &NoInternedFaults, 0, None);
+        let got_trace = cns.materialize_trace(scratch, scratch.trace());
+        assert_eq!(got_trace, want_trace, "trace mismatch for {qname} {qtype:?} at {:?}", ctx.now);
+        match (got, want_result) {
+            (Ok(()), Ok(())) => {}
+            (Err(e), Err(want)) => {
+                assert_eq!(materialize_err(cns, scratch, e), want);
+            }
+            (got, want) => panic!("result mismatch: interned {got:?} vs string {want:?}"),
+        }
+        assert_eq!(interned.cache_stats(), string.cache_stats(), "cache stats diverged");
+    }
+
+    fn materialize_err(
+        ns: &CompiledNamespace<'_>,
+        scratch: &ResolveScratch,
+        e: IResolutionError,
+    ) -> ResolutionError {
+        match e {
+            IResolutionError::NxDomain(id) => {
+                ResolutionError::NxDomain(ns.name_in(scratch, id).clone())
+            }
+            IResolutionError::ChainTooLong => ResolutionError::ChainTooLong,
+            IResolutionError::ServFail(id) => {
+                ResolutionError::ServFail(ns.name_in(scratch, id).clone())
+            }
+            IResolutionError::Timeout(id) => {
+                ResolutionError::Timeout(ns.name_in(scratch, id).clone())
+            }
+        }
+    }
+
+    #[test]
+    fn matches_string_path_across_cache_lifetimes() {
+        let ns = build_ns();
+        let cns = CompiledNamespace::compile(&ns);
+        let mut string = RecursiveResolver::new();
+        let mut interned = InternedResolver::new();
+        let mut scratch = ResolveScratch::new();
+        let t0 = SimTime::from_ymd(2017, 9, 19);
+        let entry = n("appldnld.apple.com");
+        // Walk the same client through the TTL lifecycle: cold, inside the
+        // 15 s GSLB TTL, after it expires, after the 120 s geo TTL, and
+        // two hours on. Every step must agree hop for hop.
+        for secs in [0u64, 10, 30, 200, 7200] {
+            let c = ctx(7, "defra", Continent::Europe, t0 + Duration::secs(secs));
+            assert_equiv(
+                &ns, &cns, &mut string, &mut interned, &mut scratch, &entry, RecordType::A, &c,
+            );
+        }
+        // A differently-located, differently-addressed client (own caches).
+        let mut string2 = RecursiveResolver::new();
+        let mut interned2 = InternedResolver::new();
+        for secs in [0u64, 40] {
+            let c = ctx(8, "usnyc", Continent::NorthAmerica, t0 + Duration::secs(secs));
+            assert_equiv(
+                &ns, &cns, &mut string2, &mut interned2, &mut scratch, &entry, RecordType::A, &c,
+            );
+        }
+    }
+
+    #[test]
+    fn matches_string_path_on_errors_and_nodata() {
+        let ns = build_ns();
+        let cns = CompiledNamespace::compile(&ns);
+        let mut string = RecursiveResolver::new();
+        let mut interned = InternedResolver::new();
+        let mut scratch = ResolveScratch::new();
+        let t0 = SimTime::from_ymd(2017, 9, 19);
+        let c = ctx(7, "defra", Continent::Europe, t0);
+        // NXDOMAIN inside an authoritative zone (overlay-interned name).
+        assert_equiv(
+            &ns, &cns, &mut string, &mut interned, &mut scratch,
+            &n("nothere.apple.com"), RecordType::A, &c,
+        );
+        // NXDOMAIN with no authoritative zone at all.
+        assert_equiv(
+            &ns, &cns, &mut string, &mut interned, &mut scratch,
+            &n("nowhere.invalid"), RecordType::A, &c,
+        );
+        // AAAA through the policy chain: empty (NODATA-like) answer.
+        assert_equiv(
+            &ns, &cns, &mut string, &mut interned, &mut scratch,
+            &n("appldnld.apple.com"), RecordType::Aaaa, &c,
+        );
+        // Typed miss on a static name → NODATA, negative-cached; repeat
+        // inside and after the negative TTL.
+        for secs in [0u64, 30, 90] {
+            let c = ctx(7, "defra", Continent::Europe, t0 + Duration::secs(secs));
+            assert_equiv(
+                &ns, &cns, &mut string, &mut interned, &mut scratch,
+                &n("static.apple.com"), RecordType::Txt, &c,
+            );
+        }
+        // CNAME qtype returns the CNAME itself without chasing it.
+        assert_equiv(
+            &ns, &cns, &mut string, &mut interned, &mut scratch,
+            &n("appldnld.apple.com"), RecordType::Cname, &c,
+        );
+    }
+
+    #[test]
+    fn matches_string_path_under_faults() {
+        let ns = build_ns();
+        let cns = CompiledNamespace::compile(&ns);
+        let akadns_key = display_fnv(&n("apple.com.akadns.net"));
+        let gslb_key = display_fnv(&n("a.gslb.applimg.com"));
+        // String-side model: hash the Display forms (as the campaign
+        // fault layer does); interned side gets the precomputed digests.
+        let string_faults = |zone: &Name, qname: &Name, _ctx: &QueryContext, attempt: u32| {
+            let zk = display_fnv(zone);
+            let qk = display_fnv(qname);
+            if zk == akadns_key && attempt == 0 {
+                Some(UpstreamFault::Timeout)
+            } else if qk == gslb_key {
+                Some(UpstreamFault::ServFail)
+            } else {
+                None
+            }
+        };
+        let interned_faults = move |_zone: NameId,
+                                    zone_fnv: u64,
+                                    _qname: NameId,
+                                    qname_fnv: u64,
+                                    _ctx: &QueryContext,
+                                    attempt: u32| {
+            if zone_fnv == akadns_key && attempt == 0 {
+                Some(UpstreamFault::Timeout)
+            } else if qname_fnv == gslb_key {
+                Some(UpstreamFault::ServFail)
+            } else {
+                None
+            }
+        };
+        let mut string = RecursiveResolver::new();
+        let mut interned = InternedResolver::new();
+        let mut scratch = ResolveScratch::new();
+        let t0 = SimTime::from_ymd(2017, 9, 19);
+        let entry = n("appldnld.apple.com");
+        let entry_id = cns.intern_in(&mut scratch, &entry);
+        for attempt in 0..3u32 {
+            let c = ctx(2, "defra", Continent::Europe, t0 + Duration::secs(attempt as u64));
+            let (want_trace, want_result) =
+                string.resolve_with(&ns, &entry, RecordType::A, &c, &string_faults, attempt);
+            let got = interned.resolve(
+                &cns, &mut scratch, entry_id, RecordType::A, &c, &interned_faults, attempt, None,
+            );
+            assert_eq!(cns.materialize_trace(&scratch, scratch.trace()), want_trace);
+            match (got, want_result) {
+                (Ok(()), Ok(())) => {}
+                (Err(e), Err(want)) => assert_eq!(materialize_err(&cns, &scratch, e), want),
+                (got, want) => panic!("result mismatch: {got:?} vs {want:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn memo_counts_match_string_path() {
+        let ns = build_ns();
+        let cns = CompiledNamespace::compile(&ns);
+        let t0 = SimTime::from_ymd(2017, 9, 19);
+        let entry = n("appldnld.apple.com");
+        // Six clients: three in Frankfurt, two in New York, one in Berlin —
+        // Global answers shared by all, City answers shared per city,
+        // Client answers never memoized.
+        let clients = [
+            (1u8, "defra", Continent::Europe),
+            (2, "defra", Continent::Europe),
+            (3, "defra", Continent::Europe),
+            (4, "usnyc", Continent::NorthAmerica),
+            (5, "usnyc", Continent::NorthAmerica),
+            (6, "deber", Continent::Europe),
+        ];
+        let mut memo = RoundMemo::new();
+        let mut imemo = IRoundMemo::new();
+        let mut scratch = ResolveScratch::new();
+        let mut want_traces = Vec::new();
+        for &(ip, loc, cont) in &clients {
+            let mut r = RecursiveResolver::new();
+            let c = ctx(ip, loc, cont, t0);
+            let (trace, result) =
+                r.resolve_memoized(&ns, &entry, RecordType::A, &c, &NoFaults, 0, &mut memo);
+            assert!(result.is_ok());
+            want_traces.push(trace);
+        }
+        for (i, &(ip, loc, cont)) in clients.iter().enumerate() {
+            let mut r = InternedResolver::new();
+            let c = ctx(ip, loc, cont, t0);
+            let id = cns.intern_in(&mut scratch, &entry);
+            let result = r.resolve(
+                &cns, &mut scratch, id, RecordType::A, &c, &NoInternedFaults, 0, Some(&mut imemo),
+            );
+            assert!(result.is_ok());
+            assert_eq!(
+                cns.materialize_trace(&scratch, scratch.trace()),
+                want_traces[i],
+                "memoized trace mismatch for client {i}"
+            );
+        }
+        assert_eq!(imemo.len(), memo.len());
+        assert_eq!(imemo.lookups(), memo.lookups());
+        assert_eq!(imemo.hits(), memo.hits());
+        let mut got_counts = HashMap::new();
+        imemo.counts_into(&cns, &scratch, &mut got_counts);
+        assert_eq!(got_counts, memo.into_counts());
+    }
+
+    #[test]
+    fn memo_clear_retains_capacity_and_resets_counts() {
+        let mut m = IRoundMemo::new();
+        let key = (
+            NameId(0),
+            RecordType::A,
+            MemoScope::Global,
+            SimTime::from_ymd(2017, 9, 19),
+        );
+        m.store(key, &[], None);
+        assert_eq!(m.len(), 1);
+        m.clear();
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.lookups(), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn overlay_interning_is_idempotent_and_past_table() {
+        let ns = build_ns();
+        let cns = CompiledNamespace::compile(&ns);
+        let mut scratch = ResolveScratch::new();
+        let stranger = n("stranger.example.net");
+        let a = cns.intern_in(&mut scratch, &stranger);
+        let b = cns.intern_in(&mut scratch, &stranger);
+        assert_eq!(a, b);
+        assert!(a.index() >= cns.table().len());
+        assert_eq!(cns.name_in(&scratch, a), &stranger);
+        assert_eq!(cns.fnv_in(&scratch, a), display_fnv(&stranger));
+        // Table names keep their table ids.
+        let origin = cns.intern_in(&mut scratch, &n("apple.com"));
+        assert!(origin.index() < cns.table().len());
+    }
+}

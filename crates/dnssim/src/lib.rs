@@ -34,6 +34,7 @@
 pub mod cache;
 pub mod context;
 pub mod faults;
+pub mod interned;
 pub mod iterative;
 pub mod memo;
 pub mod resolver;
@@ -43,6 +44,10 @@ pub mod zone;
 pub use cache::Cache;
 pub use context::QueryContext;
 pub use faults::{FaultModel, NoFaults, UpstreamFault};
+pub use interned::{
+    CompiledNamespace, IRData, IRecord, IResolutionError, IRoundMemo, ITrace, ITraceStep,
+    InternedFaultModel, InternedResolver, NoInternedFaults, ResolveScratch,
+};
 pub use iterative::{IterativeResolver, IterativeOutcome};
 pub use memo::{MemoKey, MemoScope, RoundMemo};
 pub use resolver::{RecursiveResolver, ResolutionError, ResolutionTrace, TraceStep};

@@ -147,6 +147,24 @@ impl Zone {
         self.names.contains_key(name)
     }
 
+    /// Public form of the existence check, for snapshot compilers that
+    /// replicate the zone's NXDOMAIN/NODATA split outside this module.
+    pub fn contains_name(&self, name: &Name) -> bool {
+        self.name_exists(name)
+    }
+
+    /// Iterates the static record sets as `(owner, wire qtype, records)`.
+    /// Iteration order is unspecified (callers that need determinism sort
+    /// by the key, as [`Zone::static_records`] does).
+    pub fn record_sets(&self) -> impl Iterator<Item = (&Name, u16, &[ResourceRecord])> {
+        self.records.iter().map(|((name, qtype), rrs)| (name, *qtype, rrs.as_slice()))
+    }
+
+    /// Iterates `(owner, policy)` for every dynamic mapping policy.
+    pub fn policy_entries(&self) -> impl Iterator<Item = (&Name, &Arc<dyn MappingPolicy>)> {
+        self.policies.iter()
+    }
+
     /// All static records, in deterministic (name, type) order.
     pub fn static_records(&self) -> Vec<&ResourceRecord> {
         let mut keys: Vec<&RecordKey> = self.records.keys().collect();
@@ -165,14 +183,23 @@ impl Zone {
     /// syntax, dynamic mapping policies as annotated comments (they have no
     /// static representation — which is rather the point of a Meta-CDN).
     pub fn to_zonefile(&self) -> String {
-        let mut out = format!("$ORIGIN {}.\n", self.origin);
+        let mut out = String::new();
+        self.write_zonefile(&mut out).expect("fmt::Write to String cannot fail");
+        out
+    }
+
+    /// Streams the zone-file listing into `out`. Each record renders
+    /// directly through the writer, so callers with a reusable buffer pay
+    /// no intermediate per-line allocations.
+    pub fn write_zonefile<W: core::fmt::Write>(&self, out: &mut W) -> core::fmt::Result {
+        writeln!(out, "$ORIGIN {}.", self.origin)?;
         for rr in self.static_records() {
-            out.push_str(&format!("{rr}\n"));
+            writeln!(out, "{rr}")?;
         }
         for name in self.policy_names() {
-            out.push_str(&format!("; {name} -> [dynamic mapping policy]\n"));
+            writeln!(out, "; {name} -> [dynamic mapping policy]")?;
         }
-        out
+        Ok(())
     }
 
     /// Answers a question this zone is authoritative for.
@@ -264,6 +291,12 @@ impl Namespace {
     /// Number of installed zones.
     pub fn zone_count(&self) -> usize {
         self.zones.len()
+    }
+
+    /// The installed zones, in installation order (the order
+    /// [`Namespace::authority_for`] breaks label-count ties in).
+    pub fn zones(&self) -> &[Zone] {
+        &self.zones
     }
 }
 
@@ -400,6 +433,20 @@ mod zonefile_tests {
         assert!(text.contains("a.gslb.applimg.com 20 IN A 17.253.1.1"));
         assert!(text.contains("alias.applimg.com 60 IN CNAME a.gslb.applimg.com"));
         assert!(text.contains("; appldnld.g.applimg.com -> [dynamic mapping policy]"));
+    }
+
+    #[test]
+    fn write_zonefile_reuses_caller_buffer() {
+        let mut z = Zone::new(Name::parse("applimg.com").unwrap());
+        z.add_a("a.gslb.applimg.com", Ipv4Addr::new(17, 253, 1, 1), 20);
+        let mut buf = String::with_capacity(256);
+        z.write_zonefile(&mut buf).unwrap();
+        assert_eq!(buf, z.to_zonefile());
+        // A second render into the same buffer appends after the first —
+        // the writer owns placement, the zone never allocates a String.
+        let first_len = buf.len();
+        z.write_zonefile(&mut buf).unwrap();
+        assert_eq!(buf.len(), 2 * first_len);
     }
 
     #[test]

@@ -64,6 +64,16 @@ impl Fnv64 {
         Fnv64(0xcbf2_9ce4_8422_2325)
     }
 
+    /// A hasher resumed from a previously [`finish`](Fnv64::finish)ed
+    /// digest. FNV-1a's state *is* its digest, so
+    /// `Fnv64::with_state(h.finish())` continues the stream exactly where
+    /// `h` left off — this lets callers precompute the hash of a stable
+    /// prefix (say, a DNS name's `Display` form) once and later fold in
+    /// per-query suffixes without re-hashing the prefix.
+    pub fn with_state(state: u64) -> Fnv64 {
+        Fnv64(state)
+    }
+
     /// Feeds bytes into the hash.
     pub fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
@@ -552,6 +562,21 @@ mod tests {
         let mut h = Fnv64::new();
         write!(h, "{}", 123_456u64).unwrap();
         assert_eq!(h.finish(), fnv64(123_456u64.to_string().as_bytes()));
+    }
+
+    #[test]
+    fn resumed_fnv_continues_the_stream() {
+        // Hash a prefix once, resume from its digest, and fold in a
+        // suffix: identical to hashing the concatenation in one pass.
+        let mut prefix = Fnv64::new();
+        prefix.update(b"a.gslb.applimg.com");
+        let mut resumed = Fnv64::with_state(prefix.finish());
+        resumed.update(&[198, 51, 100, 7]);
+        let mut whole = b"a.gslb.applimg.com".to_vec();
+        whole.extend_from_slice(&[198, 51, 100, 7]);
+        assert_eq!(resumed.finish(), fnv64(&whole));
+        // Resuming without feeding anything is the identity.
+        assert_eq!(Fnv64::with_state(0xdead_beef).finish(), 0xdead_beef);
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! link it arrives on is saturated. This crate provides the substrate for
 //! all three:
 //!
-//! * [`ip`] — IPv4 prefixes ([`Ipv4Net`]) and a binary trie with
-//!   longest-prefix matching ([`PrefixTrie`]), the core of the BGP RIB.
+//! * [`ip`] — IPv4 prefixes ([`Ipv4Net`]), a binary trie with
+//!   longest-prefix matching ([`PrefixTrie`]) as the mutable BGP RIB, and
+//!   its compiled binary-search form ([`FlatLpm`]) for hot lookup paths.
 //! * [`topology`] — autonomous systems, business relationships
 //!   (customer/provider/peer), and capacity-annotated inter-AS links.
 //! * [`routing`] — valley-free (Gao–Rexford) path selection, giving each
@@ -26,7 +27,7 @@ pub mod topology;
 pub mod traceroute;
 
 pub use bgp_wire::{RibBuilder, Update as BgpUpdate};
-pub use ip::{Ipv4Net, PrefixTrie};
+pub use ip::{FlatLpm, Ipv4Net, PrefixTrie};
 pub use routing::Router;
 pub use topology::{AsId, AsInfo, AsKind, DirectedRel, Link, LinkId, Relationship, Topology};
 pub use traceroute::{Hop, Traceroute};

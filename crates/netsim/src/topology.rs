@@ -1,6 +1,6 @@
 //! Autonomous systems, business relationships, and inter-AS links.
 
-use crate::ip::{Ipv4Net, PrefixTrie};
+use crate::ip::{FlatLpm, Ipv4Net, PrefixTrie};
 use mcdn_geo::Coord;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -123,6 +123,28 @@ impl Topology {
         self.adjacency.entry(a).or_default().push(idx);
         self.adjacency.entry(b).or_default().push(idx);
         id
+    }
+
+    /// Pre-sizes the RIB's node storage for `prefix_count` upcoming
+    /// [`Topology::announce`] calls, so a bulk build performs one trie
+    /// allocation instead of growing node by node. Pair with
+    /// [`Topology::compact_rib`] once announcements are done.
+    pub fn reserve_routes(&mut self, prefix_count: usize) {
+        self.rib.reserve(prefix_count);
+    }
+
+    /// Releases the slack left by [`Topology::reserve_routes`]'s
+    /// worst-case bound after the build phase.
+    pub fn compact_rib(&mut self) {
+        self.rib.shrink_to_fit();
+    }
+
+    /// Compiles the current RIB into an immutable [`FlatLpm`] for
+    /// binary-search longest-prefix lookups on hot paths (per-flow
+    /// routing, per-address classification). The table is a snapshot:
+    /// recompile after any announce/withdraw.
+    pub fn compiled_rib(&self) -> FlatLpm<AsId> {
+        self.rib.compile()
     }
 
     /// Announces `prefix` as originated by `origin` (installs it in the RIB).
@@ -320,6 +342,29 @@ mod tests {
         assert_eq!(t.origin_of(ip), None);
         // Second withdrawal of a gone route is a no-op.
         assert!(!t.withdraw(AsId(3), agg));
+    }
+
+    #[test]
+    fn compiled_rib_matches_live_rib_through_withdrawals() {
+        let mut t = base();
+        t.reserve_routes(3);
+        t.announce(AsId(3), Ipv4Net::parse("23.0.0.0/12").unwrap());
+        t.announce(AsId(2), Ipv4Net::parse("23.1.0.0/16").unwrap());
+        t.announce(AsId(1), Ipv4Net::parse("84.17.0.0/16").unwrap());
+        t.compact_rib();
+        let probes = ["23.1.2.3", "23.2.2.3", "84.17.9.9", "9.9.9.9"];
+        let flat = t.compiled_rib();
+        for p in probes {
+            let ip: Ipv4Addr = p.parse().unwrap();
+            assert_eq!(flat.lookup(ip).map(|(_, a)| a), t.origin_of(ip), "{p}");
+        }
+        // A withdrawal shows up in the next compile, not the old snapshot.
+        assert!(t.withdraw(AsId(2), Ipv4Net::parse("23.1.0.0/16").unwrap()));
+        let flat = t.compiled_rib();
+        for p in probes {
+            let ip: Ipv4Addr = p.parse().unwrap();
+            assert_eq!(flat.lookup(ip).map(|(_, a)| a), t.origin_of(ip), "{p}");
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! or Limelight but not located within their respective autonomous systems
 //! are denoted as 'other AS'."
 
-use mcdn_dnssim::ResolutionTrace;
+use mcdn_dnssim::{CompiledNamespace, IRData, ITrace, ResolveScratch, ResolutionTrace};
+use mcdn_intern::{NameId, NameTable};
 use mcdn_netsim::{AsId, Topology};
 use std::net::Ipv4Addr;
 
@@ -103,6 +104,95 @@ pub fn attribute_trace(trace: &ResolutionTrace) -> DnsAttribution {
     DnsAttribution::Other
 }
 
+/// Attribution suffix flags, one bit per CDN family. Computed from a
+/// name's display form with the same `ends_with` tests
+/// [`attribute_trace`] applies, so the interned path cannot drift from
+/// the string path.
+const ATTR_APPLE: u8 = 1;
+const ATTR_AKAMAI: u8 = 1 << 1;
+const ATTR_LIMELIGHT: u8 = 1 << 2;
+
+fn suffix_flags(name: &mcdn_dnswire::Name) -> u8 {
+    let s = name.to_string();
+    let mut flags = 0;
+    if s.ends_with("gslb.applimg.com") {
+        flags |= ATTR_APPLE;
+    }
+    if s.ends_with("akamai.net") {
+        flags |= ATTR_AKAMAI;
+    }
+    if s.ends_with("llnwi.net") || s.ends_with("llnwd.net") {
+        flags |= ATTR_LIMELIGHT;
+    }
+    flags
+}
+
+fn judge(flags: u8) -> Option<DnsAttribution> {
+    // Same per-name priority as the string scan: Apple, then Akamai,
+    // then Limelight.
+    if flags & ATTR_APPLE != 0 {
+        Some(DnsAttribution::Apple)
+    } else if flags & ATTR_AKAMAI != 0 {
+        Some(DnsAttribution::Akamai)
+    } else if flags & ATTR_LIMELIGHT != 0 {
+        Some(DnsAttribution::Limelight)
+    } else {
+        None
+    }
+}
+
+/// Per-[`NameId`] attribution flags, precomputed once per campaign so
+/// the per-trace scan does no string formatting or matching at all.
+#[derive(Debug, Clone)]
+pub struct AttributionTable {
+    flags: Vec<u8>,
+}
+
+impl AttributionTable {
+    /// Precomputes the suffix flags for every interned name.
+    pub fn build(table: &NameTable) -> AttributionTable {
+        AttributionTable { flags: table.iter().map(|(_, name)| suffix_flags(name)).collect() }
+    }
+
+    fn flags_of(&self, ns: &CompiledNamespace<'_>, scratch: &ResolveScratch, id: NameId) -> u8 {
+        match self.flags.get(id.index()) {
+            Some(&flags) => flags,
+            // Overlay name (never on the campaign hot path): judge its
+            // display form directly.
+            None => suffix_flags(ns.name_in(scratch, id)),
+        }
+    }
+}
+
+/// [`attribute_trace`] over an interned trace: scans the same combined
+/// name sequence (step qnames, then CNAME targets) in the same reversed
+/// order, consulting precomputed flags instead of rendered strings.
+pub fn attribute_interned(
+    trace: &ITrace,
+    attr: &AttributionTable,
+    ns: &CompiledNamespace<'_>,
+    scratch: &ResolveScratch,
+) -> DnsAttribution {
+    // The combined list is [qnames..., cname targets...]; reversed, the
+    // targets come first (last step's last record first), then the
+    // qnames (last step first).
+    for step in trace.steps().iter().rev() {
+        for record in trace.records_of(step).iter().rev() {
+            if let IRData::Cname(target) = record.rdata {
+                if let Some(found) = judge(attr.flags_of(ns, scratch, target)) {
+                    return found;
+                }
+            }
+        }
+    }
+    for step in trace.steps().iter().rev() {
+        if let Some(found) = judge(attr.flags_of(ns, scratch, step.qname)) {
+            return found;
+        }
+    }
+    DnsAttribution::Other
+}
+
 /// Final classification of one answered address: DNS attribution refined by
 /// BGP origin.
 pub fn classify_ip(
@@ -113,7 +203,19 @@ pub fn classify_ip(
     limelight_as: AsId,
     apple_as: AsId,
 ) -> CdnClass {
-    let origin = topo.origin_of(ip);
+    classify_ip_from_origin(attribution, topo.origin_of(ip), akamai_as, limelight_as, apple_as)
+}
+
+/// [`classify_ip`] with the BGP origin already looked up — the form the
+/// campaign engine uses with a compiled
+/// [`FlatLpm`](mcdn_netsim::FlatLpm) RIB instead of the live trie.
+pub fn classify_ip_from_origin(
+    attribution: DnsAttribution,
+    origin: Option<AsId>,
+    akamai_as: AsId,
+    limelight_as: AsId,
+    apple_as: AsId,
+) -> CdnClass {
     match attribution {
         DnsAttribution::Apple => {
             if origin == Some(apple_as) {

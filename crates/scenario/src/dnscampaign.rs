@@ -8,16 +8,21 @@
 //! canonical probe order — so the result is bit-identical for any thread
 //! count, faults on or off.
 
-use crate::classes::{attribute_trace, CdnClass};
+use crate::classes::{attribute_interned, classify_ip_from_origin, AttributionTable, CdnClass};
 use crate::config::ScenarioConfig;
 use crate::loads::update_loads;
+use crate::params;
 use crate::world::World;
 use core::fmt::Write as _;
 use mcdn_atlas::{build_fleet, Availability, UniqueIpAggregator};
-use mcdn_dnssim::{FaultModel, MemoKey, QueryContext, RoundMemo, UpstreamFault};
+use mcdn_dnssim::{
+    CompiledNamespace, FaultModel, IRoundMemo, InternedFaultModel, MemoKey, QueryContext,
+    ResolveScratch, UpstreamFault,
+};
 use mcdn_dnswire::{Name, RecordType};
 use mcdn_faults::{FaultProfile, Fnv64, QueryFault, RetryPolicy};
 use mcdn_geo::{Continent, Duration, Region, SimTime};
+use mcdn_intern::{NameId, NameTable};
 use metacdn::CdnKind;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -189,6 +194,99 @@ impl FaultModel for CampaignFaults<'_> {
     }
 }
 
+/// Which operator's live load a zone's fault odds couple to — the
+/// compiled form of [`CampaignFaults::zone_load`]'s substring tests,
+/// resolved once per interned name at campaign start.
+#[derive(Debug, Clone, Copy)]
+enum LoadClass {
+    Akamai,
+    Limelight,
+    Level3,
+    Apple,
+    Idle,
+}
+
+fn load_class(name: &Name) -> LoadClass {
+    let z = name.to_string();
+    if z.contains("akadns") || z.contains("akamai") || z.contains("edgesuite") {
+        LoadClass::Akamai
+    } else if z.contains("llnw") {
+        LoadClass::Limelight
+    } else if z.contains("lvl3") {
+        LoadClass::Level3
+    } else if z.contains("apple") || z.contains("applimg") {
+        LoadClass::Apple
+    } else {
+        LoadClass::Idle
+    }
+}
+
+/// [`CampaignFaults`] for the interned hot path: zone load classes are
+/// precomputed per [`NameId`] and the fault keys are derived from the
+/// resolver-supplied display-FNV digests ([`Fnv64::with_state`] resumes
+/// the stream to fold in the client address), so a fault decision
+/// allocates nothing — while producing bit-identical keys, and therefore
+/// bit-identical faults, to the string adapter.
+pub struct InternedCampaignFaults<'a> {
+    profile: FaultProfile,
+    world: &'a World,
+    zone_loads: Vec<LoadClass>,
+}
+
+impl<'a> InternedCampaignFaults<'a> {
+    /// Builds the adapter, classifying every interned name once.
+    pub fn new(
+        profile: FaultProfile,
+        world: &'a World,
+        table: &NameTable,
+    ) -> InternedCampaignFaults<'a> {
+        InternedCampaignFaults {
+            profile,
+            world,
+            zone_loads: table.iter().map(|(_, name)| load_class(name)).collect(),
+        }
+    }
+
+    fn load_of(&self, class: LoadClass, region: Region) -> f64 {
+        match class {
+            LoadClass::Akamai => self.world.state.cdn_load(CdnKind::Akamai, region),
+            LoadClass::Limelight => self.world.state.cdn_load(CdnKind::Limelight, region),
+            LoadClass::Level3 => self.world.state.cdn_load(CdnKind::Level3, region),
+            LoadClass::Apple => self.world.state.apple_utilization(region),
+            LoadClass::Idle => 0.0,
+        }
+    }
+}
+
+impl InternedFaultModel for InternedCampaignFaults<'_> {
+    fn upstream_fault(
+        &self,
+        zone: NameId,
+        zone_fnv: u64,
+        _qname: NameId,
+        qname_fnv: u64,
+        ctx: &QueryContext,
+        attempt: u32,
+    ) -> Option<UpstreamFault> {
+        if self.profile.is_quiet() {
+            return None;
+        }
+        // Zone origins are always compiled-table names; an overlay zone
+        // cannot exist (zones are interned at compile time).
+        let load = self.load_of(self.zone_loads[zone.index()], ctx.region());
+        if self.profile.ns_is_dark(zone_fnv, ctx.now) {
+            return Some(UpstreamFault::Timeout);
+        }
+        let mut qh = Fnv64::with_state(qname_fnv);
+        qh.update(&ctx.client_ip.octets());
+        let query_key = qh.finish();
+        match self.profile.upstream_fault(zone_fnv, query_key, attempt, ctx.now, load)? {
+            QueryFault::ServFail => Some(UpstreamFault::ServFail),
+            QueryFault::Timeout => Some(UpstreamFault::Timeout),
+        }
+    }
+}
+
 /// One shard's contribution to a campaign round. Partials are merged in
 /// canonical shard order; every field is either order-independent by
 /// construction (set unions, max-ledgers, sums) or canonicalized at merge
@@ -225,6 +323,15 @@ fn run_campaign(
     let mut memo_lookups = 0u64;
     let mut memo_hits = 0u64;
     let entry = metacdn::names::entry();
+    // Compile the round-invariant structures once per campaign: the
+    // namespace is frozen into the id-keyed form every shard shares
+    // read-only (per-round variability flows through the mapping
+    // snapshot, not the zones), the RIB into a flat LPM table, the name
+    // table into attribution flags and fault load classes.
+    let cns = CompiledNamespace::compile(&world.ns);
+    let attr = AttributionTable::build(cns.table());
+    let rib = world.topo.compiled_rib();
+    let faults = InternedCampaignFaults::new(profile, world, cns.table());
     // The controller evolves in real time regardless of how often probes
     // measure: walk it on a fine grid between measurement rounds so load
     // history (and the a1015 activation lag) is independent of cadence.
@@ -244,6 +351,124 @@ fn run_campaign(
         let snap = Arc::new(world.state.capture());
         let partials = mcdn_exec::shard_map(&mut fleet, threads, |_shard_idx, shard| {
             let _guard = metacdn::install_snapshot(Arc::clone(&snap));
+            let mut scratch = ResolveScratch::new();
+            let entry_id = cns.intern_in(&mut scratch, &entry);
+            let mut memo = IRoundMemo::new();
+            let mut partial = ShardPartial {
+                agg: UniqueIpAggregator::new(bin),
+                classes: IpClassLedger::new(),
+                resolutions: 0,
+                attempts: 0,
+                retry_exhausted: 0,
+                memo_counts: HashMap::new(),
+            };
+            for probe in shard.iter_mut() {
+                if !availability.is_online(probe.id, t) {
+                    continue; // probe offline this epoch
+                }
+                let (result, outcome_attempts) = probe.measure_interned(
+                    &cns,
+                    &mut scratch,
+                    entry_id,
+                    RecordType::A,
+                    t,
+                    &faults,
+                    &retry,
+                    &mut memo,
+                );
+                partial.attempts += outcome_attempts as u64;
+                if matches!(&result, Err(e) if e.is_transient()) {
+                    partial.retry_exhausted += 1;
+                }
+                let attribution = attribute_interned(scratch.trace(), &attr, &cns, &scratch);
+                for ip in scratch.trace().addresses() {
+                    let origin = rib.lookup(ip).map(|(_, asn)| asn);
+                    let class = classify_ip_from_origin(
+                        attribution,
+                        origin,
+                        params::AKAMAI_AS,
+                        params::LIMELIGHT_AS,
+                        params::APPLE_AS,
+                    );
+                    partial.agg.record(t, probe.spec.city.continent, class, ip);
+                    partial.classes.observe(ip, t, class);
+                }
+                partial.resolutions += 1;
+            }
+            memo.counts_into(&cns, &scratch, &mut partial.memo_counts);
+            partial
+        });
+        // Canonical merge, in shard order. Memo counts are summed per key
+        // across shards first: `lookups` is the total demand for memoizable
+        // answers and `hits` what a single-shard memo would have served —
+        // both independent of how many shards actually ran.
+        let mut round_counts: HashMap<MemoKey, u64> = HashMap::new();
+        for partial in partials {
+            agg.merge(partial.agg);
+            classes.merge(partial.classes);
+            resolutions += partial.resolutions;
+            attempts += partial.attempts;
+            retry_exhausted += partial.retry_exhausted;
+            for (key, count) in partial.memo_counts {
+                *round_counts.entry(key).or_default() += count;
+            }
+        }
+        let round_lookups: u64 = round_counts.values().sum();
+        memo_lookups += round_lookups;
+        memo_hits += round_lookups - round_counts.len() as u64;
+        t += interval;
+    }
+    DnsCampaignResult {
+        unique_ips: agg,
+        ip_classes: classes.into_classes(),
+        resolutions,
+        attempts,
+        retry_exhausted,
+        memo_lookups,
+        memo_hits,
+    }
+}
+
+/// The pre-interning string-path engine, kept verbatim as the test
+/// oracle: the interned engine must reproduce its output bit for bit
+/// (same snapshots, same faults, same memo accounting).
+#[cfg(test)]
+#[allow(clippy::too_many_arguments)]
+fn run_campaign_reference(
+    world: &World,
+    specs: &[mcdn_atlas::ProbeSpec],
+    start: SimTime,
+    end: SimTime,
+    interval: Duration,
+    bin: Duration,
+    availability: Availability,
+    profile: FaultProfile,
+    retry: RetryPolicy,
+    threads: usize,
+) -> DnsCampaignResult {
+    use crate::classes::attribute_trace;
+    use mcdn_dnssim::RoundMemo;
+    let mut fleet = build_fleet(specs.to_vec());
+    let mut agg = UniqueIpAggregator::new(bin);
+    let mut classes = IpClassLedger::new();
+    let mut resolutions = 0u64;
+    let mut attempts = 0u64;
+    let mut retry_exhausted = 0u64;
+    let mut memo_lookups = 0u64;
+    let mut memo_hits = 0u64;
+    let entry = metacdn::names::entry();
+    let ctrl_step = Duration::mins(30).min(interval);
+    let mut ctrl_t = start;
+    let mut t = start;
+    while t < end {
+        while ctrl_t < t {
+            update_loads(world, ctrl_t);
+            ctrl_t += ctrl_step;
+        }
+        update_loads(world, t);
+        let snap = Arc::new(world.state.capture());
+        let partials = mcdn_exec::shard_map(&mut fleet, threads, |_shard_idx, shard| {
+            let _guard = metacdn::install_snapshot(Arc::clone(&snap));
             let faults = CampaignFaults::new(profile, world);
             let mut memo = RoundMemo::new();
             let mut partial = ShardPartial {
@@ -256,7 +481,7 @@ fn run_campaign(
             };
             for probe in shard.iter_mut() {
                 if !availability.is_online(probe.id, t) {
-                    continue; // probe offline this epoch
+                    continue;
                 }
                 let outcome = probe.measure_memoized(
                     &world.ns,
@@ -282,10 +507,6 @@ fn run_campaign(
             partial.memo_counts = memo.into_counts();
             partial
         });
-        // Canonical merge, in shard order. Memo counts are summed per key
-        // across shards first: `lookups` is the total demand for memoizable
-        // answers and `hits` what a single-shard memo would have served —
-        // both independent of how many shards actually ran.
         let mut round_counts: HashMap<MemoKey, u64> = HashMap::new();
         for partial in partials {
             agg.merge(partial.agg);
@@ -372,6 +593,50 @@ pub fn run_isp_dns_threads(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The tentpole's correctness contract: the interned engine is
+    /// output-identical to the retired string engine — quiet and under a
+    /// chaos-grade fault profile — for every field of the result,
+    /// including the canonical memo accounting.
+    #[test]
+    fn interned_engine_matches_string_reference() {
+        let profiles = [
+            ("none", mcdn_faults::FaultProfile::none()),
+            (
+                "total-dark",
+                crate::chaos::standard_grid(41).last().expect("non-empty grid").faults,
+            ),
+        ];
+        for (label, faults) in profiles {
+            let mut cfg = ScenarioConfig::fast();
+            cfg.global_probes = 40;
+            cfg.global_dns_interval = Duration::hours(2);
+            cfg.global_start = SimTime::from_ymd_hms(2017, 9, 18, 12, 0, 0);
+            cfg.global_end = SimTime::from_ymd(2017, 9, 19);
+            cfg.faults = faults;
+            let want = {
+                let world = World::build(&cfg);
+                run_campaign_reference(
+                    &world,
+                    &world.global_probe_specs,
+                    cfg.global_start,
+                    cfg.global_end,
+                    cfg.global_dns_interval,
+                    Duration::hours(1),
+                    Availability::with_rate(cfg.probe_availability, cfg.seed ^ 0xA7A5),
+                    cfg.faults.with_seed(cfg.faults.seed ^ 0xA7A5),
+                    cfg.retry,
+                    2,
+                )
+            };
+            let got = {
+                let world = World::build(&cfg);
+                run_global_dns_threads(&world, &cfg, 2)
+            };
+            assert_eq!(got, want, "interned engine diverged under profile {label}");
+            assert!(want.resolutions > 0);
+        }
+    }
 
     #[test]
     fn ledger_winner_is_order_independent() {

@@ -52,7 +52,7 @@ pub use classes::CdnClass;
 pub use config::{LinkSelection, ScenarioConfig};
 pub use dnscampaign::{
     run_global_dns, run_global_dns_threads, run_isp_dns, run_isp_dns_threads, CampaignFaults,
-    DnsCampaignResult, IpClassLedger,
+    DnsCampaignResult, InternedCampaignFaults, IpClassLedger,
 };
 pub use timeline::{timeline, TimelineEntry};
 pub use tracecampaign::{run_traceroutes, TracerouteCampaignResult};

@@ -105,6 +105,9 @@ pub fn run_isp_traffic_threads(
     let tick = cfg.traffic_tick;
     let eyeball = params::EYEBALL_AS;
     let release = params::release();
+    // The topology is frozen for the whole run: compile the RIB into its
+    // flat binary-search form once instead of walking the trie per flow.
+    let rib = world.topo.compiled_rib();
 
     let mut t = cfg.traffic_start;
     while t < cfg.traffic_end {
@@ -191,7 +194,7 @@ pub fn run_isp_traffic_threads(
         let mut link_used: HashMap<LinkId, u64> = HashMap::new();
         let mut routed: Vec<RoutedFlow> = Vec::new();
         for flow in &offered {
-            let Some(src_as) = world.topo.origin_of(flow.src) else { continue };
+            let Some((_, src_as)) = rib.lookup(flow.src) else { continue };
             let Some(path) = router.path(&world.topo, src_as, eyeball) else { continue };
             let handover = Router::handover(&path).unwrap_or(src_as);
             let mut remaining = flow.bytes as u64;

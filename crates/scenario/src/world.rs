@@ -131,6 +131,9 @@ impl World {
     /// [`WorldBuildError`] instead of panicking.
     pub fn try_build(cfg: &ScenarioConfig) -> Result<World, WorldBuildError> {
         let mut topo = Topology::new();
+        // The build announces a few dozen prefixes; pre-size the RIB so
+        // insertion never re-hashes mid-build, then compact it at the end.
+        topo.reserve_routes(64);
         let eyeball = params::EYEBALL_AS;
 
         // --- Core ASes -----------------------------------------------------
@@ -428,6 +431,8 @@ impl World {
             .filter(|s| anchors.iter().any(|a| a.coord.distance_km(&s.coord) < 300.0))
             .flat_map(|s| s.vip_addrs())
             .collect();
+
+        topo.compact_rib();
 
         Ok(World {
             topo,

@@ -41,7 +41,7 @@ echo "    identical ($(wc -l < "$tmpdir/t1.txt") lines)"
 
 echo "==> bench smoke: BENCH_campaigns.json schema"
 scripts/bench.sh --smoke "$tmpdir/BENCH_campaigns.json" > /dev/null
-grep -q '"schema": "mcdn-bench-campaigns-v1"' "$tmpdir/BENCH_campaigns.json"
+grep -q '"schema": "mcdn-bench-campaigns-v2"' "$tmpdir/BENCH_campaigns.json"
 grep -q '"identical_across_threads": true' "$tmpdir/BENCH_campaigns.json"
 if grep -q '"identical_across_threads": false' "$tmpdir/BENCH_campaigns.json"; then
   echo "    FAIL: some campaign diverged across thread counts"; exit 1
@@ -51,5 +51,32 @@ for field in thread_counts memo_hit_rate wall_ms speedup_vs_serial; do
     echo "    FAIL: missing field $field"; exit 1; }
 done
 echo "    schema OK"
+
+echo "==> alloc gate: steady-state resolve loop must not allocate"
+grep -q '"allocs_per_resolution": 0.0000' "$tmpdir/BENCH_campaigns.json" || {
+  echo "    FAIL: steady-state resolutions allocated"
+  grep -A5 '"steady_state"' "$tmpdir/BENCH_campaigns.json"; exit 1; }
+echo "    allocs_per_resolution == 0"
+
+echo "==> bench regression: smoke throughput vs committed baseline"
+# The committed BENCH_campaigns.json was produced by the full (non-smoke)
+# workload; the smoke run resolves the same hot path, so its serial
+# resolutions/sec must stay within 2x of the committed number. A machine
+# slower than that points at a real regression, not noise.
+if [ -f BENCH_campaigns.json ]; then
+  base_rps="$(grep -m1 '"resolutions_per_sec"' BENCH_campaigns.json \
+    | sed 's/.*"resolutions_per_sec": \([0-9.]*\).*/\1/')"
+  smoke_rps="$(grep -m1 '"resolutions_per_sec"' "$tmpdir/BENCH_campaigns.json" \
+    | sed 's/.*"resolutions_per_sec": \([0-9.]*\).*/\1/')"
+  awk -v base="$base_rps" -v got="$smoke_rps" 'BEGIN {
+    if (base > 0 && got * 2 < base) {
+      printf "    FAIL: serial global_dns %.1f res/s, baseline %.1f (>2x slower)\n", got, base
+      exit 1
+    }
+    printf "    serial global_dns %.1f res/s vs baseline %.1f: OK\n", got, base
+  }'
+else
+  echo "    no committed BENCH_campaigns.json; skipping"
+fi
 
 echo "CI OK"
