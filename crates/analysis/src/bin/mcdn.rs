@@ -4,7 +4,9 @@
 //! mcdn resolve <city> [--at "YYYY-MM-DD HH:MM"]   resolve appldnld.apple.com as a client there
 //! mcdn crawl                                       crawl the Figure-2 mapping graph
 //! mcdn scan                                        scan 17.253/16, rebuild Figure 3 + Table 1
-//! mcdn campaign global|isp [--paper] [--jsonl F]   run a DNS campaign, print summaries
+//! mcdn campaign global|isp [--paper] [--journal F] run a DNS campaign, print summaries
+//!                                                  (--journal: checkpoint to F and resume
+//!                                                   from it after a crash)
 //! mcdn traffic [--paper]                           run border telemetry, print Figures 7/8
 //! mcdn zones                                       dump the mapping zones as zone files
 //! ```
@@ -13,14 +15,16 @@
 
 use mcdn_analysis::{fig2, fig3, fig4, fig5, fig7, fig8, table1};
 use mcdn_scenario::{
-    loads, params, run_global_dns, run_isp_dns, run_isp_traffic, ScenarioConfig, World,
+    loads, params, run_global_dns, run_global_dns_resumable_with, run_isp_dns,
+    run_isp_dns_resumable_with, run_isp_traffic, CampaignRun, DnsCampaignResult, ResumeOptions,
+    ScenarioConfig, World,
 };
 use mcdn_geo::{Locode, Registry, SimTime};
 
 fn usage() -> ! {
     eprintln!(
         "usage: mcdn <resolve CITY [--at 'YYYY-MM-DD HH:MM'] | crawl | scan | \
-campaign global|isp [--paper] [--jsonl FILE] | traffic [--paper] | zones>"
+campaign global|isp [--paper] [--journal FILE] | traffic [--paper] | zones>"
     );
     std::process::exit(2);
 }
@@ -104,24 +108,76 @@ fn cmd_scan() {
     println!("naming-scheme coverage: {parsed}/{total}");
 }
 
+/// `--journal FILE`, if present.
+fn journal_arg(args: &[String]) -> Option<std::path::PathBuf> {
+    let i = args.iter().position(|a| a == "--journal")?;
+    match args.get(i + 1) {
+        Some(path) => Some(std::path::PathBuf::from(path)),
+        None => usage(),
+    }
+}
+
+/// `MCDN_KILL_AFTER_ROUND=N`: run N rounds, checkpoint, then die by
+/// SIGKILL — the crash half of the CI crash→resume gate.
+fn kill_after_round() -> Option<u64> {
+    std::env::var("MCDN_KILL_AFTER_ROUND").ok()?.parse().ok()
+}
+
+/// Dies as abruptly as the OS allows: no destructors, no exit handlers.
+/// SIGKILL through the `kill` utility when available, `abort` otherwise.
+fn die_hard() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = std::process::Command::new("kill").args(["-9", &pid]).status();
+    std::process::abort();
+}
+
+/// Runs the selected campaign, journaled (`--journal`) or plain. A
+/// journaled run that suspends under `MCDN_KILL_AFTER_ROUND` self-kills
+/// after its checkpoint is durable and never returns.
+fn run_selected_campaign(which: &str, world: &World, cfg: &ScenarioConfig, args: &[String]) -> DnsCampaignResult {
+    let Some(path) = journal_arg(args) else {
+        return match which {
+            "global" => run_global_dns(world, cfg),
+            _ => run_isp_dns(world, cfg),
+        };
+    };
+    let stop_after = kill_after_round();
+    let opts = ResumeOptions { threads: 0, checkpoint_every: 1, stop_after_rounds: stop_after };
+    let run = match which {
+        "global" => run_global_dns_resumable_with(world, cfg, &path, opts),
+        _ => run_isp_dns_resumable_with(world, cfg, &path, opts),
+    };
+    match run {
+        Ok(CampaignRun::Complete(result)) => result,
+        Ok(CampaignRun::Suspended { rounds_done, total_rounds }) => {
+            eprintln!("suspending after {rounds_done}/{total_rounds} rounds (checkpoint durable)");
+            die_hard();
+        }
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn cmd_campaign(args: &[String]) {
     let which = args.first().map(String::as_str).unwrap_or("global");
+    if !matches!(which, "global" | "isp") {
+        usage();
+    }
     let cfg = cfg_from(args);
     let world = World::build(&cfg);
+    let result = run_selected_campaign(which, &world, &cfg, args);
+    println!("{} resolutions", result.resolutions);
     match which {
         "global" => {
-            let result = run_global_dns(&world, &cfg);
-            println!("{} resolutions", result.resolutions);
             println!("{}", fig4::fig4_summary(&result, params::release()));
             println!("{}", fig4::fig4_eu_peak_breakdown(&result, params::release()));
         }
-        "isp" => {
-            let result = run_isp_dns(&world, &cfg);
-            println!("{} resolutions", result.resolutions);
+        _ => {
             let (rise, apple) = fig5::fig5_akamai_rise(&result);
             println!("Akamai unique IPs Sep 18 → 20: {rise:+.0}%  (Apple stability {apple:.2})");
         }
-        _ => usage(),
     }
 }
 

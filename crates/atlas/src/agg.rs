@@ -71,6 +71,23 @@ where
         all.len()
     }
 
+    /// Every cell with its full membership: `((bin start, group, label),
+    /// sorted addresses)` in key order — the checkpoint export of the
+    /// aggregator. Set *sizes* alone cannot reconstruct the dedup state,
+    /// so the members themselves are the serialized form; feeding them
+    /// back through [`record`](Self::record) (bin starts are fixed points
+    /// of the bin floor) rebuilds an identical aggregator.
+    pub fn cells(&self) -> Vec<((SimTime, G, L), Vec<Ipv4Addr>)> {
+        self.sets
+            .iter()
+            .map(|(key, set)| {
+                let mut members: Vec<Ipv4Addr> = set.iter().copied().collect();
+                members.sort_unstable();
+                (*key, members)
+            })
+            .collect()
+    }
+
     /// Merges another aggregator's observations into this one. Set union
     /// per cell is commutative and associative, so merging shard-local
     /// aggregates — in any order — equals recording every observation into

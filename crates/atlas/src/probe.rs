@@ -1,9 +1,9 @@
 //! Measurement probes: located clients with their own caching resolvers.
 
 use mcdn_dnssim::{
-    CompiledNamespace, FaultModel, IResolutionError, IRoundMemo, InternedFaultModel,
-    InternedResolver, Namespace, QueryContext, RecursiveResolver, ResolutionError,
-    ResolutionTrace, ResolveScratch, RoundMemo,
+    CompiledNamespace, FaultModel, ICacheExportEntry, IResolutionError, IRoundMemo,
+    InternedFaultModel, InternedResolver, Namespace, QueryContext, RecursiveResolver,
+    ResolutionError, ResolutionTrace, ResolveScratch, RoundMemo,
 };
 use mcdn_dnswire::{Name, RecordType};
 use mcdn_faults::RetryPolicy;
@@ -28,7 +28,7 @@ pub struct ProbeSpec {
 /// A measurement probe. Each probe owns a resolver cache, so the TTL
 /// dynamics of the mapping chain shape what it re-resolves each round —
 /// exactly like a RIPE Atlas probe using its local resolver.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Probe {
     /// Fleet-unique id.
     pub id: u32,
@@ -183,6 +183,25 @@ impl Probe {
     /// Interned-resolver cache statistics `(hits, misses)`.
     pub fn interned_cache_stats(&self) -> (u64, u64) {
         self.iresolver.cache_stats()
+    }
+
+    /// Exports the interned-resolver cache for checkpointing: sorted
+    /// entries plus `(hits, misses)` counters. See
+    /// [`InternedResolver::cache_export`].
+    pub fn interned_cache_export(&self) -> (Vec<ICacheExportEntry>, u64, u64) {
+        self.iresolver.cache_export()
+    }
+
+    /// Restores the interned-resolver cache captured by
+    /// [`interned_cache_export`](Self::interned_cache_export), making a
+    /// rebuilt probe's TTL behaviour bit-identical to the original's.
+    pub fn interned_cache_restore(
+        &mut self,
+        entries: Vec<ICacheExportEntry>,
+        hits: u64,
+        misses: u64,
+    ) {
+        self.iresolver.cache_restore(entries, hits, misses);
     }
 }
 

@@ -15,8 +15,8 @@ use mcdn_faults::RetryPolicy;
 use mcdn_geo::{Duration, SimTime};
 use mcdn_scenario::classes::{attribute_interned, classify_ip_from_origin, AttributionTable};
 use mcdn_scenario::{
-    params, run_global_dns_threads, run_isp_dns_threads, run_isp_traffic_threads, ScenarioConfig,
-    World,
+    params, run_global_dns_resumable_with, run_global_dns_threads, run_isp_dns_threads,
+    run_isp_traffic_threads, CampaignRun, ResumeOptions, ScenarioConfig, World,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -176,6 +176,59 @@ fn audit_steady_state(cfg: &ScenarioConfig) -> AllocAudit {
     AllocAudit { resolutions, allocs: delta.allocs, bytes: delta.bytes }
 }
 
+/// Wall-time cost of journaled checkpointing versus the plain engine.
+struct CheckpointOverhead {
+    plain_ms: f64,
+    journaled_ms: f64,
+    overhead_pct: f64,
+}
+
+/// Times the global campaign plain and journaled (cadence 1, i.e. every
+/// round is checkpoint-eligible; the engine's overhead throttle decides
+/// which become durable) at one worker, best-of-9 each (interleaved, so
+/// both sides sample the same load windows) to damp scheduler noise, and
+/// checks the journaled result is bit-identical.
+///
+/// Always runs the full-scale workload, even under `--smoke`: a percent
+/// overhead measured on a ~10ms run is dominated by sub-millisecond
+/// scheduler jitter, while at ~200ms the same jitter is <0.5%.
+fn bench_checkpoint_overhead(cfg: &ScenarioConfig) -> CheckpointOverhead {
+    let mut plain_ms = f64::INFINITY;
+    let mut journaled_ms = f64::INFINITY;
+    let mut plain_result = None;
+    let mut journaled_result = None;
+    for rep in 0..9 {
+        let world = World::build(cfg);
+        let start = Instant::now();
+        let r = run_global_dns_threads(&world, cfg, 1);
+        plain_ms = plain_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        plain_result = Some(r);
+
+        let path = std::env::temp_dir()
+            .join(format!("mcdn-bench-journal-{}-{rep}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let world = World::build(cfg);
+        let opts = ResumeOptions { threads: 1, checkpoint_every: 1, stop_after_rounds: None };
+        let start = Instant::now();
+        let r = match run_global_dns_resumable_with(&world, cfg, &path, opts)
+            .expect("journaled campaign")
+        {
+            CampaignRun::Complete(r) => r,
+            CampaignRun::Suspended { .. } => unreachable!("no round budget given"),
+        };
+        journaled_ms = journaled_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        let _ = std::fs::remove_file(&path);
+        journaled_result = Some(r);
+    }
+    assert_eq!(
+        plain_result, journaled_result,
+        "journaled campaign must be bit-identical to the plain engine"
+    );
+    let overhead_pct =
+        if plain_ms > 0.0 { (journaled_ms - plain_ms) / plain_ms * 100.0 } else { 0.0 };
+    CheckpointOverhead { plain_ms, journaled_ms, overhead_pct }
+}
+
 fn json_escape_free(s: &str) -> &str {
     // Every string we emit is a static identifier; keep the writer honest.
     assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || "_-./".contains(c)));
@@ -188,12 +241,18 @@ fn write_json(
     counts: &[usize],
     benches: &[Bench],
     audit: &AllocAudit,
+    ckpt: &CheckpointOverhead,
 ) {
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"mcdn-bench-campaigns-v2\",");
+    let _ = writeln!(out, "  \"schema\": \"mcdn-bench-campaigns-v3\",");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let counts_s: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
     let _ = writeln!(out, "  \"thread_counts\": [{}],", counts_s.join(", "));
+    let _ = writeln!(out, "  \"checkpointing\": {{");
+    let _ = writeln!(out, "    \"plain_ms\": {:.3},", ckpt.plain_ms);
+    let _ = writeln!(out, "    \"journaled_ms\": {:.3},", ckpt.journaled_ms);
+    let _ = writeln!(out, "    \"checkpoint_overhead_pct\": {:.3}", ckpt.overhead_pct);
+    let _ = writeln!(out, "  }},");
     let per = audit.resolutions.max(1) as f64;
     let _ = writeln!(out, "  \"steady_state\": {{");
     let _ = writeln!(out, "    \"resolutions\": {},", audit.resolutions);
@@ -302,6 +361,13 @@ fn main() {
         identical,
     });
 
+    eprintln!("bench_campaigns: measuring checkpoint overhead");
+    let ckpt = bench_checkpoint_overhead(&bench_cfg(false));
+    eprintln!(
+        "  checkpointing plain={:.1}ms journaled={:.1}ms overhead={:+.2}%",
+        ckpt.plain_ms, ckpt.journaled_ms, ckpt.overhead_pct
+    );
+
     eprintln!("bench_campaigns: auditing steady-state allocations");
     let audit = audit_steady_state(&cfg);
     eprintln!(
@@ -311,7 +377,7 @@ fn main() {
 
     let all_identical = benches.iter().all(|b| b.identical);
     let mut json = String::new();
-    write_json(&mut json, smoke, &counts, &benches, &audit);
+    write_json(&mut json, smoke, &counts, &benches, &audit, &ckpt);
     std::fs::write(&out_path, &json).expect("write BENCH json");
     for b in &benches {
         let serial = b.runs.first().map(|r| r.wall_ms).unwrap_or(0.0);
@@ -336,6 +402,14 @@ fn main() {
             "bench_campaigns: FAIL — steady-state resolve loop allocated \
              ({} allocs / {} bytes over {} resolutions)",
             audit.allocs, audit.bytes, audit.resolutions
+        );
+        std::process::exit(1);
+    }
+    if ckpt.overhead_pct >= 5.0 {
+        eprintln!(
+            "bench_campaigns: FAIL — per-round checkpointing costs {:.2}% \
+             (budget < 5%)",
+            ckpt.overhead_pct
         );
         std::process::exit(1);
     }

@@ -85,7 +85,10 @@ impl HealthTracker {
     pub fn observe(&mut self, ok: bool, params: &HealthParams) -> Option<HealthTransition> {
         if ok {
             self.consec_fail = 0;
-            self.consec_ok += 1;
+            // Saturating: a long steady run must not wrap the counter back
+            // below the threshold (u32 wrap would panic in debug and, in
+            // release, re-arm an already-settled state machine).
+            self.consec_ok = self.consec_ok.saturating_add(1);
             if !self.up && self.consec_ok >= params.restore_after.max(1) {
                 self.up = true;
                 self.transitions += 1;
@@ -93,7 +96,7 @@ impl HealthTracker {
             }
         } else {
             self.consec_ok = 0;
-            self.consec_fail += 1;
+            self.consec_fail = self.consec_fail.saturating_add(1);
             if self.up && self.consec_fail >= params.eject_after.max(1) {
                 self.up = false;
                 self.transitions += 1;
@@ -186,6 +189,64 @@ mod tests {
             "transitions {} exceed the hysteresis bound {max_transitions}",
             t.transitions()
         );
+    }
+
+    #[test]
+    fn standard_boundary_exactly_three_failures_eject() {
+        // The standard 3-fail / 2-ok hysteresis, driven through its exact
+        // boundaries with interleaved outcomes: 2 failures + success must
+        // NOT eject; the 3rd consecutive failure (and only it) must.
+        let p = HealthParams::standard();
+        let mut t = HealthTracker::new();
+        assert_eq!(t.observe(false, &p), None);
+        assert_eq!(t.observe(false, &p), None);
+        assert_eq!(t.observe(true, &p), None, "success resets the failure run");
+        assert!(t.is_up());
+        assert_eq!(t.observe(false, &p), None);
+        assert_eq!(t.observe(false, &p), None);
+        assert!(t.is_up(), "still one short of eject_after = 3");
+        assert_eq!(t.observe(false, &p), Some(HealthTransition::Ejected));
+        assert!(!t.is_up());
+        assert_eq!(t.transitions(), 1);
+    }
+
+    #[test]
+    fn standard_boundary_exactly_two_successes_restore() {
+        // Down target: 1 success + failure must NOT restore; exactly 2
+        // consecutive successes must, even with failed runs interleaved.
+        let p = HealthParams::standard();
+        let mut t = HealthTracker::new();
+        for _ in 0..3 {
+            t.observe(false, &p);
+        }
+        assert!(!t.is_up());
+        assert_eq!(t.observe(true, &p), None);
+        assert_eq!(t.observe(false, &p), None, "failure resets the success run");
+        assert!(!t.is_up());
+        assert_eq!(t.observe(true, &p), None);
+        assert!(!t.is_up(), "still one short of restore_after = 2");
+        assert_eq!(t.observe(true, &p), Some(HealthTransition::Restored));
+        assert!(t.is_up());
+        assert_eq!(t.transitions(), 2);
+        // And the freshly restored target needs a full new failure run.
+        assert_eq!(t.observe(false, &p), None);
+        assert_eq!(t.observe(false, &p), None);
+        assert!(t.is_up());
+        assert_eq!(t.observe(false, &p), Some(HealthTransition::Ejected));
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let p = params(3, 2);
+        let mut t = HealthTracker { up: true, consec_fail: 0, consec_ok: u32::MAX, transitions: 0 };
+        // One more success on a saturated run must not wrap (debug panic)
+        // or reset the run below threshold.
+        assert_eq!(t.observe(true, &p), None);
+        assert_eq!(t.consec_ok, u32::MAX);
+        let mut t = HealthTracker { up: false, consec_fail: u32::MAX, consec_ok: 0, transitions: 1 };
+        assert_eq!(t.observe(false, &p), None);
+        assert_eq!(t.consec_fail, u32::MAX);
+        assert!(!t.is_up());
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub use health::{HealthParams, HealthTracker, HealthTransition};
 pub use kinds::CdnKind;
 pub use policy::{CdnShare, Schedule};
 pub use state::{
-    install_snapshot, pick_weighted, MappingSnapshot, MetaCdnState, SnapshotGuard, StateSnapshot,
-    A1015_LAG, AKAMAI_OVERLOAD_THRESHOLD,
+    install_snapshot, pick_weighted, MappingSnapshot, MetaCdnState, SignalState, SnapshotGuard,
+    StateSnapshot, A1015_LAG, AKAMAI_OVERLOAD_THRESHOLD,
 };
 pub use zones::{build_namespace, MetaCdnConfig};

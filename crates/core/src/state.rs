@@ -124,6 +124,32 @@ impl Drop for SnapshotGuard {
     }
 }
 
+/// The complete mutable controller signal set in canonical (sorted)
+/// order — the crash-safety layer's checkpoint/restore surface.
+///
+/// Unlike [`StateSnapshot`] (a reporting view), this carries *every*
+/// `Inner` field, including the Akamai overload timestamps, the
+/// last-known-good mappings, and the down-site keys, so that
+/// [`MetaCdnState::restore_signals`] can rebuild a state whose future
+/// behaviour is bit-identical to the exported one.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SignalState {
+    /// Apple candidate utilization per region.
+    pub apple_util: Vec<(Region, f64)>,
+    /// Third-party pool load per (CDN, region).
+    pub cdn_load: Vec<(CdnKind, Region, f64)>,
+    /// When Akamai's load first crossed the overload threshold, per region.
+    pub akamai_overload_since: Vec<(Region, SimTime)>,
+    /// Health verdicts from the chaos probe loop (absent = healthy).
+    pub cdn_health: Vec<(CdnKind, Region, bool)>,
+    /// Remaining capacity fraction per (CDN, region) (absent = 1).
+    pub capacity_factor: Vec<(CdnKind, Region, f64)>,
+    /// Last share computed while signals were still live, per region.
+    pub last_good: Vec<(Region, Vec<(CdnKind, f64)>)>,
+    /// Apple GSLB sites currently down (site keys, sorted).
+    pub down_sites: Vec<u64>,
+}
+
 /// A point-in-time copy of the controller's view, for logging and tests.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StateSnapshot {
@@ -154,6 +180,55 @@ impl MetaCdnState {
             state_id: self.state_id,
             inner: self.inner.read().expect("state lock").clone(),
         }
+    }
+
+    /// Exports every mutable controller signal, sorted, for
+    /// checkpointing. Always reads the *live* state (never an installed
+    /// snapshot): checkpoints are taken between rounds, after the
+    /// driver's writes.
+    pub fn export_signals(&self) -> SignalState {
+        let inner = self.inner.read().expect("state lock");
+        let mut s = SignalState {
+            apple_util: inner.apple_util.iter().map(|(&r, &v)| (r, v)).collect(),
+            cdn_load: inner.cdn_load.iter().map(|(&(k, r), &v)| (k, r, v)).collect(),
+            akamai_overload_since: inner
+                .akamai_overload_since
+                .iter()
+                .map(|(&r, &t)| (r, t))
+                .collect(),
+            cdn_health: inner.cdn_health.iter().map(|(&(k, r), &h)| (k, r, h)).collect(),
+            capacity_factor: inner.capacity_factor.iter().map(|(&(k, r), &v)| (k, r, v)).collect(),
+            last_good: inner.last_good.iter().map(|(&r, shares)| (r, shares.clone())).collect(),
+            down_sites: inner.down_sites.iter().copied().collect(),
+        };
+        s.apple_util.sort_by_key(|&(r, _)| r);
+        s.cdn_load.sort_by_key(|&(k, r, _)| (k, r));
+        s.akamai_overload_since.sort_by_key(|&(r, _)| r);
+        s.cdn_health.sort_by_key(|&(k, r, _)| (k, r));
+        s.capacity_factor.sort_by_key(|&(k, r, _)| (k, r));
+        s.last_good.sort_by_key(|&(r, _)| r);
+        s.down_sites.sort_unstable();
+        s
+    }
+
+    /// Replaces the controller's mutable signals wholesale with a set
+    /// previously captured by [`export_signals`](Self::export_signals).
+    ///
+    /// Deliberately bypasses the `set_*` entry points: those have
+    /// threshold side effects (e.g. [`Self::set_cdn_load`] arming the
+    /// a1015 activation timestamp) that must not re-fire when replaying
+    /// already-settled history.
+    pub fn restore_signals(&self, s: &SignalState) {
+        let mut inner = self.inner.write().expect("state lock");
+        *inner = Inner {
+            apple_util: s.apple_util.iter().copied().collect(),
+            cdn_load: s.cdn_load.iter().map(|&(k, r, v)| ((k, r), v)).collect(),
+            akamai_overload_since: s.akamai_overload_since.iter().copied().collect(),
+            cdn_health: s.cdn_health.iter().map(|&(k, r, h)| ((k, r), h)).collect(),
+            capacity_factor: s.capacity_factor.iter().map(|&(k, r, v)| ((k, r), v)).collect(),
+            last_good: s.last_good.iter().map(|(r, shares)| (*r, shares.clone())).collect(),
+            down_sites: s.down_sites.iter().copied().collect(),
+        };
     }
 
     /// Runs `f` over the state's inner view: the thread's innermost

@@ -22,7 +22,7 @@ struct Entry {
 }
 
 /// A per-resolver DNS cache.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Cache {
     entries: HashMap<(Name, u16), Entry>,
     hits: u64,

@@ -529,7 +529,7 @@ impl ResolveScratch {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct IEntry {
     records: Vec<IRecord>,
     expires: SimTime,
@@ -539,7 +539,7 @@ struct IEntry {
 /// remaining-TTL clamp on hit, min-TTL/negative-TTL expiry on store)
 /// without `Name` clones. Entry buffers are reused on re-store, so a
 /// warm cache neither allocates nor frees.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ICache {
     entries: HashMap<(u32, u16), IEntry>,
     hits: u64,
@@ -772,10 +772,14 @@ where
 /// memo → authoritative query; NXDOMAIN never cached or memoized) over
 /// id-keyed state. Owns the per-probe [`ICache`]; everything else comes
 /// in through the [`ResolveScratch`].
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct InternedResolver {
     cache: ICache,
 }
+
+/// One exported cache cell: `(name id, qtype, absolute expiry, records)`.
+/// See [`InternedResolver::cache_export`].
+pub type ICacheExportEntry = (u32, u16, SimTime, Vec<IRecord>);
 
 impl InternedResolver {
     /// A resolver with an empty cache.
@@ -897,6 +901,35 @@ impl InternedResolver {
     /// [`RecursiveResolver::flush`](crate::RecursiveResolver::flush).
     pub fn flush(&mut self) {
         self.cache.entries.clear();
+    }
+
+    /// Exports the cache for checkpointing: every entry (live or expired)
+    /// sorted by `(name id, qtype)`, plus the `(hits, misses)` counters.
+    /// Record [`NameId`]s refer to the campaign's compiled table; the
+    /// caller validates them against that table when re-encoding.
+    pub fn cache_export(&self) -> (Vec<ICacheExportEntry>, u64, u64) {
+        let mut entries: Vec<ICacheExportEntry> = self
+            .cache
+            .entries
+            .iter()
+            .map(|(&(id, qtype), e)| (id, qtype, e.expires, e.records.clone()))
+            .collect();
+        entries.sort_by_key(|&(id, qtype, _, _)| (id, qtype));
+        let (hits, misses) = self.cache.stats();
+        (entries, hits, misses)
+    }
+
+    /// Restores state previously captured by
+    /// [`cache_export`](Self::cache_export) — the exact inverse, counters
+    /// included, so a resumed campaign's cache behaviour *and* its
+    /// reported statistics are bit-identical to an uninterrupted run.
+    pub fn cache_restore(&mut self, entries: Vec<ICacheExportEntry>, hits: u64, misses: u64) {
+        self.cache.entries.clear();
+        for (id, qtype, expires, records) in entries {
+            self.cache.entries.insert((id, qtype), IEntry { records, expires });
+        }
+        self.cache.hits = hits;
+        self.cache.misses = misses;
     }
 }
 

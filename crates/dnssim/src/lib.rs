@@ -45,8 +45,8 @@ pub use cache::Cache;
 pub use context::QueryContext;
 pub use faults::{FaultModel, NoFaults, UpstreamFault};
 pub use interned::{
-    CompiledNamespace, IRData, IRecord, IResolutionError, IRoundMemo, ITrace, ITraceStep,
-    InternedFaultModel, InternedResolver, NoInternedFaults, ResolveScratch,
+    CompiledNamespace, ICacheExportEntry, IRData, IRecord, IResolutionError, IRoundMemo, ITrace,
+    ITraceStep, InternedFaultModel, InternedResolver, NoInternedFaults, ResolveScratch,
 };
 pub use iterative::{IterativeResolver, IterativeOutcome};
 pub use memo::{MemoKey, MemoScope, RoundMemo};

@@ -111,7 +111,7 @@ impl core::fmt::Display for ResolutionError {
 impl std::error::Error for ResolutionError {}
 
 /// A recursive resolver with its own cache, as run by each probe.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RecursiveResolver {
     cache: Cache,
 }

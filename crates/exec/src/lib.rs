@@ -21,6 +21,7 @@
 #![deny(missing_docs)]
 
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "MCDN_THREADS";
@@ -107,6 +108,139 @@ where
     })
 }
 
+/// Default retry budget for [`shard_map_supervised`]: one clean rerun
+/// after the initial attempt, then one more — enough to outlast any
+/// one-shot injected fault while still bounding a deterministic panic.
+pub const DEFAULT_SHARD_RETRIES: u32 = 2;
+
+/// A shard that kept panicking until its retry budget ran out.
+///
+/// Surfaced instead of aborting the process so a long campaign can fail
+/// *typed*: the caller decides whether to quarantine the result, persist a
+/// checkpoint, or propagate the failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// Index of the failing shard (canonical shard order).
+    pub shard: usize,
+    /// Total attempts made (initial run + retries).
+    pub attempts: u32,
+    /// The panic payload of the final attempt, if it was a string.
+    pub message: String,
+}
+
+impl core::fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "shard {} panicked {} time(s): {}", self.shard, self.attempts, self.message)
+    }
+}
+
+impl std::error::Error for ShardFailure {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one shard attempt loop: clone the pristine items, run `f`, and on
+/// panic restore the shard from the pristine copy before retrying.
+///
+/// `AssertUnwindSafe` is sound here because the only state `f` can reach
+/// across the unwind boundary is the shard slice itself, and that slice is
+/// restored to its pre-attempt contents before anyone observes it again
+/// (on the final failure the caller discards the whole round).
+fn supervise_shard<T, R, F>(
+    index: usize,
+    shard: &mut [T],
+    retries: u32,
+    f: &F,
+) -> Result<R, ShardFailure>
+where
+    T: Clone,
+    F: Fn(usize, &mut [T]) -> R,
+{
+    let pristine: Vec<T> = shard.to_vec();
+    let attempts = retries.saturating_add(1);
+    let mut last_message = String::new();
+    for attempt in 0..attempts {
+        match catch_unwind(AssertUnwindSafe(|| f(index, shard))) {
+            Ok(r) => return Ok(r),
+            Err(payload) => {
+                last_message = panic_message(payload);
+                // Quarantine: throw away whatever the panicking attempt
+                // did to the shard and restore the pristine items, so a
+                // retry replays the exact same deterministic inputs.
+                if attempt + 1 < attempts {
+                    shard.clone_from_slice(&pristine);
+                }
+            }
+        }
+    }
+    Err(ShardFailure { shard: index, attempts, message: last_message })
+}
+
+/// [`shard_map`] with panic isolation: each shard runs under
+/// [`catch_unwind`]; a panicking shard is restored to its pre-attempt
+/// items and deterministically re-executed up to `retries` extra times.
+/// If any shard exhausts its budget the whole map returns the failure of
+/// the **lowest-indexed** failing shard (canonical order), instead of
+/// aborting the process.
+///
+/// `T: Clone` pays for the quarantine copy; on the happy path that is one
+/// `to_vec` per shard per call.
+pub fn shard_map_supervised<T, R, F>(
+    items: &mut [T],
+    threads: usize,
+    retries: u32,
+    f: F,
+) -> Result<Vec<R>, ShardFailure>
+where
+    T: Send + Clone,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    let bounds = shard_bounds(items.len(), threads);
+    if bounds.len() <= 1 || threads <= 1 {
+        let mut out = Vec::with_capacity(bounds.len());
+        let mut rest = items;
+        for (i, b) in bounds.iter().enumerate() {
+            let (shard, tail) = rest.split_at_mut(b.len());
+            rest = tail;
+            out.push(supervise_shard(i, shard, retries, &f)?);
+        }
+        return Ok(out);
+    }
+    let mut shards: Vec<&mut [T]> = Vec::with_capacity(bounds.len());
+    let mut rest = items;
+    for b in &bounds {
+        let (shard, tail) = rest.split_at_mut(b.len());
+        rest = tail;
+        shards.push(shard);
+    }
+    let f = &f;
+    let results: Vec<Result<R, ShardFailure>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| scope.spawn(move || supervise_shard(i, shard, retries, f)))
+            .collect();
+        // The supervisor catches shard panics itself, so a join can only
+        // fail on a panic *outside* the supervised closure.
+        handles.into_iter().map(|h| h.join().expect("shard supervisor panicked")).collect()
+    });
+    // Canonical failure selection: report the lowest-indexed failing
+    // shard, independent of worker scheduling.
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +305,77 @@ mod tests {
         let mut items: Vec<u8> = Vec::new();
         let parts: Vec<usize> = shard_map(&mut items, 4, |_, shard| shard.len());
         assert!(parts.is_empty());
+    }
+
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn supervised_matches_unsupervised_when_nothing_panics() {
+        for threads in [1usize, 3, 8] {
+            let mut a: Vec<u32> = (0..57).collect();
+            let mut b = a.clone();
+            let plain = shard_map(&mut a, threads, |i, s| (i, s.iter().sum::<u32>()));
+            let supervised =
+                shard_map_supervised(&mut b, threads, DEFAULT_SHARD_RETRIES, |i, s| {
+                    (i, s.iter().sum::<u32>())
+                })
+                .unwrap();
+            assert_eq!(plain, supervised, "threads={threads}");
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn panicking_shard_is_restored_and_retried_deterministically() {
+        for threads in [1usize, 4] {
+            let fired = AtomicU32::new(0);
+            let mut items: Vec<u64> = (0..40).collect();
+            let expected: Vec<u64> = items.iter().map(|x| x + 1).collect();
+            let parts = shard_map_supervised(&mut items, threads, 1, |i, shard| {
+                // Mutate first, then panic once mid-shard on shard 0: the
+                // supervisor must roll the mutation back before retrying.
+                for x in shard.iter_mut() {
+                    *x += 1;
+                }
+                if i == 0 && fired.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("injected shard panic");
+                }
+                shard.iter().sum::<u64>()
+            })
+            .unwrap();
+            assert_eq!(items, expected, "threads={threads}: mutation applied exactly once");
+            assert_eq!(
+                parts.iter().sum::<u64>(),
+                expected.iter().sum::<u64>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_a_typed_failure_for_the_lowest_shard() {
+        let mut items: Vec<u8> = (0..32).collect();
+        let err = shard_map_supervised(&mut items, 4, 2, |i, _shard| {
+            if i >= 1 {
+                panic!("shard {i} always fails");
+            }
+            i
+        })
+        .unwrap_err();
+        assert_eq!(err.shard, 1, "lowest failing shard wins");
+        assert_eq!(err.attempts, 3);
+        assert!(err.message.contains("always fails"), "{}", err.message);
+        // Display is human-readable for logs.
+        assert!(err.to_string().contains("shard 1"));
+    }
+
+    #[test]
+    fn non_string_panic_payloads_do_not_crash_the_supervisor() {
+        let mut items = vec![0u8; 4];
+        let err = shard_map_supervised(&mut items, 1, 0, |_, _| {
+            std::panic::panic_any(42u32);
+        })
+        .unwrap_err();
+        assert_eq!(err.message, "non-string panic payload");
     }
 }

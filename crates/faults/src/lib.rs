@@ -309,6 +309,42 @@ impl FaultProfile {
         self
     }
 
+    /// An order-stable digest of every knob, field by declared field.
+    ///
+    /// Because the profile is the fault layer's entire "RNG state" (all
+    /// randomness is pure hashing of profile + keys), this digest *is* the
+    /// exported fault-model cursor: equal digests guarantee an identical
+    /// fault stream, which is what a resumable campaign folds into its
+    /// config fingerprint to refuse resuming under a different model.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.update(&self.seed.to_le_bytes());
+        h.update(&self.query_loss.to_bits().to_le_bytes());
+        h.update(&self.servfail_floor.to_bits().to_le_bytes());
+        h.update(&self.servfail_per_load.to_bits().to_le_bytes());
+        h.update(&self.lame_every_hours.to_le_bytes());
+        h.update(&self.lame_hours.to_le_bytes());
+        h.update(&self.latency_median_ms.to_bits().to_le_bytes());
+        h.update(&self.latency_tail.to_bits().to_le_bytes());
+        h.update(&self.slow_timeout_ms.to_bits().to_le_bytes());
+        h.update(&self.netflow_export_loss.to_bits().to_le_bytes());
+        h.update(&self.snmp_gap.to_bits().to_le_bytes());
+        h.update(&self.site_outage_every_hours.to_le_bytes());
+        h.update(&self.site_outage_hours.to_le_bytes());
+        h.update(&self.brownout_every_hours.to_le_bytes());
+        h.update(&self.brownout_hours.to_le_bytes());
+        h.update(&self.brownout_depth.to_bits().to_le_bytes());
+        h.update(&self.ns_outage_every_hours.to_le_bytes());
+        h.update(&self.ns_outage_hours.to_le_bytes());
+        h.update(&self.apple_degrade_per_load.to_bits().to_le_bytes());
+        h.update(&self.kill_key.to_le_bytes());
+        h.update(&self.kill_from.as_secs().to_le_bytes());
+        h.update(&self.kill_until.as_secs().to_le_bytes());
+        h.update(&self.blackout_from.as_secs().to_le_bytes());
+        h.update(&self.blackout_until.as_secs().to_le_bytes());
+        h.finish()
+    }
+
     /// True when every rate is zero, i.e. no decision method can ever
     /// report a fault.
     pub fn is_quiet(&self) -> bool {
@@ -510,6 +546,16 @@ pub struct RetryPolicy {
 }
 
 impl RetryPolicy {
+    /// An order-stable digest of the policy, for the resumable campaign's
+    /// config fingerprint (see [`FaultProfile::digest`]).
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.update(&self.max_attempts.to_le_bytes());
+        h.update(&self.backoff_base.as_secs().to_le_bytes());
+        h.update(&self.backoff_cap.as_secs().to_le_bytes());
+        h.finish()
+    }
+
     /// No retries: one attempt, zero backoff.
     pub const fn none() -> RetryPolicy {
         RetryPolicy {
@@ -545,6 +591,18 @@ impl RetryPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn profile_digest_separates_models_and_is_stable() {
+        let a = FaultProfile::none();
+        assert_eq!(a.digest(), FaultProfile::none().digest(), "digest is a pure function");
+        assert_ne!(a.digest(), FaultProfile::realistic(1).digest());
+        assert_ne!(FaultProfile::realistic(1).digest(), FaultProfile::realistic(2).digest());
+        // Every knob participates — a scripted window alone must change it.
+        let scripted = a.with_blackout(SimTime(10), SimTime(20));
+        assert_ne!(a.digest(), scripted.digest());
+        assert_ne!(RetryPolicy::none().digest(), RetryPolicy::standard().digest());
+    }
 
     #[test]
     fn streaming_fnv_matches_one_shot_fnv() {

@@ -597,6 +597,17 @@ pub fn standard_grid(seed: u64) -> Vec<ChaosScenario> {
     ]
 }
 
+/// The grid's harshest scenario — every fault family active plus a full
+/// blackout spanning hours 2–5 after release. Exposed by name so tests and
+/// benchmarks stressing the engine under maximal chaos do not have to
+/// index into [`standard_grid`] positionally.
+pub fn total_dark_scenario(seed: u64) -> ChaosScenario {
+    let grid = standard_grid(seed);
+    grid.into_iter()
+        .find(|s| s.name == "total-dark")
+        .expect("standard grid always includes total-dark")
+}
+
 /// Runs every scenario of `grid` and checks its invariants, returning the
 /// results or the first violation (tagged with its scenario).
 pub fn run_chaos_sweep(

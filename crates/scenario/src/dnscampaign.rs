@@ -8,6 +8,9 @@
 //! canonical probe order — so the result is bit-identical for any thread
 //! count, faults on or off.
 
+use crate::checkpoint::{
+    CampaignError, CampaignJournal, CampaignRun, Checkpoint, ProbeCache, ResumeOptions,
+};
 use crate::classes::{attribute_interned, classify_ip_from_origin, AttributionTable, CdnClass};
 use crate::config::ScenarioConfig;
 use crate::loads::update_loads;
@@ -26,6 +29,7 @@ use mcdn_intern::{NameId, NameTable};
 use metacdn::CdnKind;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Output of one DNS campaign.
@@ -97,6 +101,16 @@ impl IpClassLedger {
     /// The winning classification per address.
     pub fn into_classes(self) -> HashMap<Ipv4Addr, CdnClass> {
         self.seen.into_iter().map(|(ip, (_, class))| (ip, class)).collect()
+    }
+
+    /// Every observation in canonical (address) order — the ledger's
+    /// checkpoint export. Feeding the entries back through
+    /// [`observe`](Self::observe) rebuilds an identical ledger.
+    pub fn entries(&self) -> Vec<(Ipv4Addr, SimTime, CdnClass)> {
+        let mut out: Vec<(Ipv4Addr, SimTime, CdnClass)> =
+            self.seen.iter().map(|(&ip, &(t, class))| (ip, t, class)).collect();
+        out.sort_unstable_by_key(|&(ip, _, _)| u32::from(ip));
+        out
     }
 
     /// Number of distinct addresses observed.
@@ -301,10 +315,43 @@ struct ShardPartial {
     memo_counts: HashMap<MemoKey, u64>,
 }
 
-#[allow(clippy::too_many_arguments)] // private driver: one arg per campaign knob
-fn run_campaign(
-    world: &World,
-    specs: &[mcdn_atlas::ProbeSpec],
+/// Test-only chaos hooks for the crash-recovery suite.
+///
+/// Hidden but always compiled (integration tests cannot see `#[cfg(test)]`
+/// items): arming a shard index plants exactly one panic mid-shard — after
+/// some probes have already mutated their caches — in the next round that
+/// processes that shard. The supervised engine must quarantine, restore,
+/// and retry it with bit-identical output.
+#[doc(hidden)]
+pub mod testhooks {
+    use std::sync::atomic::{AtomicI64, Ordering};
+
+    static ARMED_SHARD: AtomicI64 = AtomicI64::new(-1);
+
+    /// Arms a one-shot mid-shard panic in shard `shard`.
+    pub fn arm_shard_panic(shard: usize) {
+        ARMED_SHARD.store(shard as i64, Ordering::SeqCst);
+    }
+
+    /// Disarms any armed panic (idempotent).
+    pub fn disarm() {
+        ARMED_SHARD.store(-1, Ordering::SeqCst);
+    }
+
+    /// True exactly once after arming: firing disarms.
+    pub(crate) fn shard_panic_fires(shard: usize) -> bool {
+        ARMED_SHARD
+            .compare_exchange(shard as i64, -1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+}
+
+/// The flat knobs of one campaign, bundled so the plain and resumable
+/// drivers share a single signature.
+#[derive(Clone, Copy)]
+struct CampaignParams<'a> {
+    world: &'a World,
+    specs: &'a [mcdn_atlas::ProbeSpec],
     start: SimTime,
     end: SimTime,
     interval: Duration,
@@ -313,9 +360,66 @@ fn run_campaign(
     profile: FaultProfile,
     retry: RetryPolicy,
     threads: usize,
-) -> DnsCampaignResult {
-    let mut fleet = build_fleet(specs.to_vec());
-    let mut agg = UniqueIpAggregator::new(bin);
+}
+
+impl CampaignParams<'_> {
+    /// Rounds the campaign window spans.
+    fn total_rounds(&self) -> u64 {
+        let mut n = 0u64;
+        let mut t = self.start;
+        while t < self.end {
+            n += 1;
+            t += self.interval;
+        }
+        n
+    }
+
+    /// The config fingerprint a journal is pinned to: campaign geometry,
+    /// availability model, fault-model cursor ([`FaultProfile::digest`]),
+    /// retry policy, worker count, and the compiled name-table size
+    /// (which transitively covers the world's namespace shape). Equal
+    /// fingerprints guarantee an identical deterministic trajectory, so
+    /// resuming under a different one is refused.
+    fn fingerprint(&self, table_len: usize) -> u64 {
+        let mut h = Fnv64::new();
+        h.update(&(self.specs.len() as u64).to_le_bytes());
+        h.update(&self.start.as_secs().to_le_bytes());
+        h.update(&self.end.as_secs().to_le_bytes());
+        h.update(&self.interval.as_secs().to_le_bytes());
+        h.update(&self.bin.as_secs().to_le_bytes());
+        h.update(&self.availability.rate.to_bits().to_le_bytes());
+        h.update(&self.availability.seed.to_le_bytes());
+        h.update(&self.profile.digest().to_le_bytes());
+        h.update(&self.retry.digest().to_le_bytes());
+        h.update(&(self.threads as u64).to_le_bytes());
+        h.update(&(table_len as u64).to_le_bytes());
+        h.finish()
+    }
+}
+
+/// The campaign engine. One code path serves all four public entry
+/// points:
+///
+/// * plain runs (`journal_path: None`, `stop_after: None`),
+/// * journaled runs (checkpoint after every `checkpoint_every`-th round),
+/// * resumed runs (the journal's latest checkpoint replays the cursors,
+///   accumulators, controller signals, and probe caches, then the loop
+///   continues exactly where the dead process left off),
+/// * batch runs (`stop_after` rounds, then suspend with a durable
+///   checkpoint).
+///
+/// Shards run under [`mcdn_exec::shard_map_supervised`]: a panicking
+/// shard is restored to its pre-attempt probes and deterministically
+/// retried before the round merges.
+fn drive_campaign(
+    p: &CampaignParams<'_>,
+    journal_path: Option<&Path>,
+    checkpoint_every: u64,
+    stop_after: Option<u64>,
+) -> Result<CampaignRun, CampaignError> {
+    let world = p.world;
+    let mut fleet = build_fleet(p.specs.to_vec());
+    let mut agg = UniqueIpAggregator::new(p.bin);
     let mut classes = IpClassLedger::new();
     let mut resolutions = 0u64;
     let mut attempts = 0u64;
@@ -331,14 +435,81 @@ fn run_campaign(
     let cns = CompiledNamespace::compile(&world.ns);
     let attr = AttributionTable::build(cns.table());
     let rib = world.topo.compiled_rib();
-    let faults = InternedCampaignFaults::new(profile, world, cns.table());
+    let faults = InternedCampaignFaults::new(p.profile, world, cns.table());
+    let table_len = cns.table().len();
     // The controller evolves in real time regardless of how often probes
     // measure: walk it on a fine grid between measurement rounds so load
     // history (and the a1015 activation lag) is independent of cadence.
-    let ctrl_step = Duration::mins(30).min(interval);
-    let mut ctrl_t = start;
-    let mut t = start;
-    while t < end {
+    let ctrl_step = Duration::mins(30).min(p.interval);
+    let mut ctrl_t = p.start;
+    let mut t = p.start;
+    let mut rounds_done = 0u64;
+    let total_rounds = p.total_rounds();
+    let checkpoint_every = checkpoint_every.max(1);
+
+    let mut journal = match journal_path {
+        Some(path) => {
+            let (journal, resume) =
+                CampaignJournal::open(path, p.fingerprint(table_len), table_len)?;
+            if let Some(ckpt) = resume {
+                // Deterministic resume: the world was rebuilt from the
+                // same config (fingerprint-checked), so restoring the
+                // mutable layers — cursors, accumulators, controller
+                // signals, probe caches — continues the identical
+                // trajectory.
+                if ckpt.probes.len() != fleet.len() {
+                    return Err(CampaignError::FleetMismatch {
+                        expected: fleet.len(),
+                        found: ckpt.probes.len(),
+                    });
+                }
+                rounds_done = ckpt.rounds_done;
+                t = ckpt.t;
+                ctrl_t = ckpt.ctrl_t;
+                resolutions = ckpt.resolutions;
+                attempts = ckpt.attempts;
+                retry_exhausted = ckpt.retry_exhausted;
+                memo_lookups = ckpt.memo_lookups;
+                memo_hits = ckpt.memo_hits;
+                for ((bin_start, cont, class), ips) in ckpt.cells {
+                    for ip in ips {
+                        agg.record(bin_start, cont, class, ip);
+                    }
+                }
+                for (ip, obs_t, class) in ckpt.ledger {
+                    classes.observe(ip, obs_t, class);
+                }
+                world.state.restore_signals(&ckpt.signals);
+                for (probe, cache) in fleet.iter_mut().zip(ckpt.probes) {
+                    probe.interned_cache_restore(cache.entries, cache.hits, cache.misses);
+                }
+            }
+            Some(journal)
+        }
+        None => None,
+    };
+
+    // Checkpoint-overhead throttle. A checkpoint serializes *all*
+    // accumulated campaign state, so its cost grows with the run while a
+    // round's cost stays flat — any fixed cadence eventually spends more
+    // time journaling than measuring. The engine therefore keeps a budget
+    // pool: cumulative checkpoint cost may never exceed
+    // CHECKPOINT_OVERHEAD_BUDGET of cumulative compute, and a cadence-due
+    // checkpoint is written only if its predicted cost (the last one's,
+    // scaled by state growth since — state grows at most linearly in
+    // rounds, so this cannot underestimate) still fits the pool. That
+    // bounds realized overhead by the budget outright, instead of merely
+    // in expectation. Suspension always forces a checkpoint (durability
+    // beats budget at the moment that matters), and skipping checkpoints
+    // never changes results — only how far back a crash rewinds.
+    const CHECKPOINT_OVERHEAD_BUDGET: f64 = 0.02;
+    let mut compute_total = std::time::Duration::ZERO;
+    let mut ckpt_cost_total = std::time::Duration::ZERO;
+    let mut last_ckpt_cost = std::time::Duration::ZERO;
+    let mut rounds_at_last_ckpt = rounds_done;
+
+    while t < p.end {
+        let round_started = std::time::Instant::now();
         while ctrl_t < t {
             update_loads(world, ctrl_t);
             ctrl_t += ctrl_step;
@@ -349,55 +520,65 @@ fn run_campaign(
         // live state's lock, and a probe's answer cannot depend on which
         // shard ran first.
         let snap = Arc::new(world.state.capture());
-        let partials = mcdn_exec::shard_map(&mut fleet, threads, |_shard_idx, shard| {
-            let _guard = metacdn::install_snapshot(Arc::clone(&snap));
-            let mut scratch = ResolveScratch::new();
-            let entry_id = cns.intern_in(&mut scratch, &entry);
-            let mut memo = IRoundMemo::new();
-            let mut partial = ShardPartial {
-                agg: UniqueIpAggregator::new(bin),
-                classes: IpClassLedger::new(),
-                resolutions: 0,
-                attempts: 0,
-                retry_exhausted: 0,
-                memo_counts: HashMap::new(),
-            };
-            for probe in shard.iter_mut() {
-                if !availability.is_online(probe.id, t) {
-                    continue; // probe offline this epoch
-                }
-                let (result, outcome_attempts) = probe.measure_interned(
-                    &cns,
-                    &mut scratch,
-                    entry_id,
-                    RecordType::A,
-                    t,
-                    &faults,
-                    &retry,
-                    &mut memo,
-                );
-                partial.attempts += outcome_attempts as u64;
-                if matches!(&result, Err(e) if e.is_transient()) {
-                    partial.retry_exhausted += 1;
-                }
-                let attribution = attribute_interned(scratch.trace(), &attr, &cns, &scratch);
-                for ip in scratch.trace().addresses() {
-                    let origin = rib.lookup(ip).map(|(_, asn)| asn);
-                    let class = classify_ip_from_origin(
-                        attribution,
-                        origin,
-                        params::AKAMAI_AS,
-                        params::LIMELIGHT_AS,
-                        params::APPLE_AS,
+        let partials = mcdn_exec::shard_map_supervised(
+            &mut fleet,
+            p.threads,
+            mcdn_exec::DEFAULT_SHARD_RETRIES,
+            |shard_idx, shard| {
+                let _guard = metacdn::install_snapshot(Arc::clone(&snap));
+                let mut scratch = ResolveScratch::new();
+                let entry_id = cns.intern_in(&mut scratch, &entry);
+                let mut memo = IRoundMemo::new();
+                let mut partial = ShardPartial {
+                    agg: UniqueIpAggregator::new(p.bin),
+                    classes: IpClassLedger::new(),
+                    resolutions: 0,
+                    attempts: 0,
+                    retry_exhausted: 0,
+                    memo_counts: HashMap::new(),
+                };
+                for (i, probe) in shard.iter_mut().enumerate() {
+                    if i == 1 && testhooks::shard_panic_fires(shard_idx) {
+                        // Fires *after* probe 0 already mutated its cache:
+                        // proves the supervisor restores partial work.
+                        panic!("injected mid-shard panic (testhooks)");
+                    }
+                    if !p.availability.is_online(probe.id, t) {
+                        continue; // probe offline this epoch
+                    }
+                    let (result, outcome_attempts) = probe.measure_interned(
+                        &cns,
+                        &mut scratch,
+                        entry_id,
+                        RecordType::A,
+                        t,
+                        &faults,
+                        &p.retry,
+                        &mut memo,
                     );
-                    partial.agg.record(t, probe.spec.city.continent, class, ip);
-                    partial.classes.observe(ip, t, class);
+                    partial.attempts += outcome_attempts as u64;
+                    if matches!(&result, Err(e) if e.is_transient()) {
+                        partial.retry_exhausted += 1;
+                    }
+                    let attribution = attribute_interned(scratch.trace(), &attr, &cns, &scratch);
+                    for ip in scratch.trace().addresses() {
+                        let origin = rib.lookup(ip).map(|(_, asn)| asn);
+                        let class = classify_ip_from_origin(
+                            attribution,
+                            origin,
+                            params::AKAMAI_AS,
+                            params::LIMELIGHT_AS,
+                            params::APPLE_AS,
+                        );
+                        partial.agg.record(t, probe.spec.city.continent, class, ip);
+                        partial.classes.observe(ip, t, class);
+                    }
+                    partial.resolutions += 1;
                 }
-                partial.resolutions += 1;
-            }
-            memo.counts_into(&cns, &scratch, &mut partial.memo_counts);
-            partial
-        });
+                memo.counts_into(&cns, &scratch, &mut partial.memo_counts);
+                partial
+            },
+        )?;
         // Canonical merge, in shard order. Memo counts are summed per key
         // across shards first: `lookups` is the total demand for memoizable
         // answers and `hits` what a single-shard memo would have served —
@@ -416,9 +597,58 @@ fn run_campaign(
         let round_lookups: u64 = round_counts.values().sum();
         memo_lookups += round_lookups;
         memo_hits += round_lookups - round_counts.len() as u64;
-        t += interval;
+        t += p.interval;
+        rounds_done += 1;
+
+        compute_total += round_started.elapsed();
+
+        let finished = t >= p.end;
+        let suspending = !finished && stop_after.is_some_and(|n| rounds_done >= n);
+        if let Some(j) = journal.as_mut() {
+            let cadence_due = rounds_done.is_multiple_of(checkpoint_every);
+            let predicted_cost = if rounds_at_last_ckpt > 0 {
+                last_ckpt_cost.as_secs_f64() * rounds_done as f64 / rounds_at_last_ckpt as f64
+            } else {
+                last_ckpt_cost.as_secs_f64()
+            };
+            let in_budget = ckpt_cost_total.as_secs_f64() + predicted_cost
+                <= CHECKPOINT_OVERHEAD_BUDGET * compute_total.as_secs_f64();
+            if suspending || (cadence_due && in_budget && !finished) {
+                let ckpt_started = std::time::Instant::now();
+                let ckpt = Checkpoint {
+                    rounds_done,
+                    t,
+                    ctrl_t,
+                    resolutions,
+                    attempts,
+                    retry_exhausted,
+                    memo_lookups,
+                    memo_hits,
+                    cells: agg.cells(),
+                    ledger: classes.entries(),
+                    signals: world.state.export_signals(),
+                    probes: fleet
+                        .iter()
+                        .map(|probe| {
+                            let (entries, hits, misses) = probe.interned_cache_export();
+                            ProbeCache { hits, misses, entries }
+                        })
+                        .collect(),
+                };
+                j.append(&ckpt, table_len)?;
+                last_ckpt_cost = ckpt_started.elapsed();
+                ckpt_cost_total += last_ckpt_cost;
+                rounds_at_last_ckpt = rounds_done;
+            }
+            if suspending {
+                j.sync()?;
+            }
+        }
+        if suspending {
+            return Ok(CampaignRun::Suspended { rounds_done, total_rounds });
+        }
     }
-    DnsCampaignResult {
+    Ok(CampaignRun::Complete(DnsCampaignResult {
         unique_ips: agg,
         ip_classes: classes.into_classes(),
         resolutions,
@@ -426,6 +656,18 @@ fn run_campaign(
         retry_exhausted,
         memo_lookups,
         memo_hits,
+    }))
+}
+
+/// Runs a campaign to completion without a journal, preserving the
+/// historical infallible contract of the classic entry points: shards are
+/// still panic-isolated and retried, but a shard that defeats its whole
+/// retry budget aborts the process here.
+fn run_to_completion(p: &CampaignParams<'_>) -> DnsCampaignResult {
+    match drive_campaign(p, None, 1, None) {
+        Ok(CampaignRun::Complete(result)) => result,
+        Ok(CampaignRun::Suspended { .. }) => unreachable!("no stop_after was requested"),
+        Err(e) => panic!("campaign failed: {e}"),
     }
 }
 
@@ -548,18 +790,7 @@ pub fn run_global_dns_threads(
     cfg: &ScenarioConfig,
     threads: usize,
 ) -> DnsCampaignResult {
-    run_campaign(
-        world,
-        &world.global_probe_specs,
-        cfg.global_start,
-        cfg.global_end,
-        cfg.global_dns_interval,
-        Duration::hours(1),
-        Availability::with_rate(cfg.probe_availability, cfg.seed ^ 0xA7A5),
-        cfg.faults.with_seed(cfg.faults.seed ^ 0xA7A5),
-        cfg.retry,
-        threads,
-    )
+    run_to_completion(&global_params(world, cfg, threads))
 }
 
 /// The in-ISP campaign (Figure 5): probes inside the Eyeball ISP resolving
@@ -576,18 +807,102 @@ pub fn run_isp_dns_threads(
     cfg: &ScenarioConfig,
     threads: usize,
 ) -> DnsCampaignResult {
-    run_campaign(
+    run_to_completion(&isp_params(world, cfg, threads))
+}
+
+/// [`CampaignParams`] of the global campaign, shared by the plain and
+/// resumable entry points so both walk the identical trajectory.
+fn global_params<'a>(world: &'a World, cfg: &ScenarioConfig, threads: usize) -> CampaignParams<'a> {
+    CampaignParams {
         world,
-        &world.isp_probe_specs,
-        cfg.isp_start,
-        cfg.isp_end,
-        cfg.isp_dns_interval,
-        Duration::days(1),
-        Availability::with_rate(cfg.probe_availability, cfg.seed ^ 0xB7B5),
-        cfg.faults.with_seed(cfg.faults.seed ^ 0xB7B5),
-        cfg.retry,
+        specs: &world.global_probe_specs,
+        start: cfg.global_start,
+        end: cfg.global_end,
+        interval: cfg.global_dns_interval,
+        bin: Duration::hours(1),
+        availability: Availability::with_rate(cfg.probe_availability, cfg.seed ^ 0xA7A5),
+        profile: cfg.faults.with_seed(cfg.faults.seed ^ 0xA7A5),
+        retry: cfg.retry,
         threads,
-    )
+    }
+}
+
+/// [`CampaignParams`] of the in-ISP campaign.
+fn isp_params<'a>(world: &'a World, cfg: &ScenarioConfig, threads: usize) -> CampaignParams<'a> {
+    CampaignParams {
+        world,
+        specs: &world.isp_probe_specs,
+        start: cfg.isp_start,
+        end: cfg.isp_end,
+        interval: cfg.isp_dns_interval,
+        bin: Duration::days(1),
+        availability: Availability::with_rate(cfg.probe_availability, cfg.seed ^ 0xB7B5),
+        profile: cfg.faults.with_seed(cfg.faults.seed ^ 0xB7B5),
+        retry: cfg.retry,
+        threads,
+    }
+}
+
+/// Resolves `ResumeOptions::threads == 0` to the ambient worker count.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        mcdn_exec::thread_count()
+    } else {
+        threads
+    }
+}
+
+/// Crash-safe [`run_global_dns`]: checkpoints progress into the journal at
+/// `journal` after every round and, when the journal already holds a
+/// checkpoint from an interrupted run with the same config fingerprint,
+/// resumes from it instead of starting over. The completed result is
+/// bit-identical to an uninterrupted [`run_global_dns`] regardless of how
+/// many times the process died and resumed in between.
+pub fn run_global_dns_resumable(
+    world: &World,
+    cfg: &ScenarioConfig,
+    journal: &Path,
+) -> Result<DnsCampaignResult, CampaignError> {
+    match run_global_dns_resumable_with(world, cfg, journal, ResumeOptions::default())? {
+        CampaignRun::Complete(result) => Ok(result),
+        CampaignRun::Suspended { .. } => unreachable!("no stop_after was requested"),
+    }
+}
+
+/// [`run_global_dns_resumable`] with explicit [`ResumeOptions`]: worker
+/// count, checkpoint cadence, and an optional round budget after which the
+/// run suspends with a durable checkpoint instead of completing.
+pub fn run_global_dns_resumable_with(
+    world: &World,
+    cfg: &ScenarioConfig,
+    journal: &Path,
+    opts: ResumeOptions,
+) -> Result<CampaignRun, CampaignError> {
+    let p = global_params(world, cfg, resolve_threads(opts.threads));
+    drive_campaign(&p, Some(journal), opts.checkpoint_every, opts.stop_after_rounds)
+}
+
+/// Crash-safe [`run_isp_dns`]; see [`run_global_dns_resumable`].
+pub fn run_isp_dns_resumable(
+    world: &World,
+    cfg: &ScenarioConfig,
+    journal: &Path,
+) -> Result<DnsCampaignResult, CampaignError> {
+    match run_isp_dns_resumable_with(world, cfg, journal, ResumeOptions::default())? {
+        CampaignRun::Complete(result) => Ok(result),
+        CampaignRun::Suspended { .. } => unreachable!("no stop_after was requested"),
+    }
+}
+
+/// [`run_isp_dns_resumable`] with explicit [`ResumeOptions`].
+pub fn run_isp_dns_resumable_with(
+    world: &World,
+    cfg: &ScenarioConfig,
+    journal: &Path,
+    opts: ResumeOptions,
+) -> Result<CampaignRun, CampaignError> {
+    let p = isp_params(world, cfg, resolve_threads(opts.threads));
+    drive_campaign(&p, Some(journal), opts.checkpoint_every, opts.stop_after_rounds)
 }
 
 #[cfg(test)]
@@ -602,10 +917,7 @@ mod tests {
     fn interned_engine_matches_string_reference() {
         let profiles = [
             ("none", mcdn_faults::FaultProfile::none()),
-            (
-                "total-dark",
-                crate::chaos::standard_grid(41).last().expect("non-empty grid").faults,
-            ),
+            ("total-dark", crate::chaos::total_dark_scenario(41).faults),
         ];
         for (label, faults) in profiles {
             let mut cfg = ScenarioConfig::fast();

@@ -33,6 +33,7 @@
 
 pub mod bgpfeed;
 pub mod chaos;
+pub mod checkpoint;
 pub mod classes;
 pub mod config;
 pub mod dnscampaign;
@@ -46,13 +47,16 @@ pub mod world;
 
 pub use chaos::{
     allocate_demand, check_invariants, control_key, run_chaos, run_chaos_sweep, standard_grid,
-    ChaosRunResult, ChaosScenario, DemandAllocation, InvariantViolation, TickAudit,
+    total_dark_scenario, ChaosRunResult, ChaosScenario, DemandAllocation, InvariantViolation,
+    TickAudit,
 };
+pub use checkpoint::{CampaignError, CampaignRun, ResumeOptions};
 pub use classes::CdnClass;
 pub use config::{LinkSelection, ScenarioConfig};
 pub use dnscampaign::{
-    run_global_dns, run_global_dns_threads, run_isp_dns, run_isp_dns_threads, CampaignFaults,
-    DnsCampaignResult, InternedCampaignFaults, IpClassLedger,
+    run_global_dns, run_global_dns_resumable, run_global_dns_resumable_with, run_global_dns_threads,
+    run_isp_dns, run_isp_dns_resumable, run_isp_dns_resumable_with, run_isp_dns_threads,
+    CampaignFaults, DnsCampaignResult, InternedCampaignFaults, IpClassLedger,
 };
 pub use timeline::{timeline, TimelineEntry};
 pub use tracecampaign::{run_traceroutes, TracerouteCampaignResult};

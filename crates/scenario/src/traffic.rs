@@ -72,7 +72,9 @@ fn spread(pool: &[Ipv4Addr], n: usize, total_bytes: f64, tick_salt: u64) -> Vec<
 }
 
 /// A flow with its link placement decided — the input to the
-/// embarrassingly-parallel phase of a tick.
+/// embarrassingly-parallel phase of a tick. `Clone` so the supervised
+/// shard runner can restore a shard after an isolated panic.
+#[derive(Clone)]
 struct RoutedFlow {
     src: Ipv4Addr,
     src_as: AsId,
@@ -230,56 +232,63 @@ pub fn run_isp_traffic_threads(
         // Phase B (sharded): given the placement, each flow's chunking,
         // sampling, export-loss draw, and record construction depend only
         // on that flow — shard them and concatenate the per-shard outputs
-        // in canonical flow order.
-        let partials = mcdn_exec::shard_map(&mut routed, threads, |_shard_idx, shard| {
-            let mut shard_flows: Vec<(SimTime, LinkId, FlowRecord)> = Vec::new();
-            let mut shard_losses = 0u64;
-            for flow in shard.iter() {
-                // NetFlow v5 byte counters are 32-bit; routers split
-                // long-lived flows into multiple records (active timeout).
-                // Chunk so the *sampled* count (true/1000) always fits.
-                const MAX_FLOW_BYTES: u64 = 2_000_000_000_000;
-                for &(link_id, bytes) in &flow.landed {
-                    let mut left = bytes;
-                    let mut chunk_i = 0u8;
-                    while left > 0 {
-                        let chunk = left.min(MAX_FLOW_BYTES);
-                        // Subscribers are spread over the ISP's prefix; each
-                        // chunk goes to a different one (distinct flow keys).
-                        let dst = Ipv4Addr::new(
-                            84,
-                            17,
-                            (fnv64(&flow.src.octets()) % 200) as u8,
-                            20u8.wrapping_add(chunk_i),
-                        );
-                        if let Some(sampled) = sampler.sample(chunk, (flow.src, dst, t)) {
-                            let mut key = [0u8; 9];
-                            key[..4].copy_from_slice(&flow.src.octets());
-                            key[4..8].copy_from_slice(&dst.octets());
-                            key[8] = chunk_i;
-                            if profile.netflow_export_lost(link_id.0 as u64, fnv64(&key), t) {
-                                // The exporter sampled the packet but the
-                                // record never reached the collector.
-                                shard_losses += 1;
-                            } else {
-                                let rec = make_record(
-                                    flow.src,
-                                    dst,
-                                    (link_id.0 & 0xFFFF) as u16,
-                                    sampled,
-                                    flow.src_as,
-                                    eyeball,
-                                );
-                                shard_flows.push((t, link_id, rec));
+        // in canonical flow order. Shards run supervised: a panicking
+        // shard is restored and retried before it can poison the tick.
+        let partials = mcdn_exec::shard_map_supervised(
+            &mut routed,
+            threads,
+            mcdn_exec::DEFAULT_SHARD_RETRIES,
+            |_shard_idx, shard| {
+                let mut shard_flows: Vec<(SimTime, LinkId, FlowRecord)> = Vec::new();
+                let mut shard_losses = 0u64;
+                for flow in shard.iter() {
+                    // NetFlow v5 byte counters are 32-bit; routers split
+                    // long-lived flows into multiple records (active timeout).
+                    // Chunk so the *sampled* count (true/1000) always fits.
+                    const MAX_FLOW_BYTES: u64 = 2_000_000_000_000;
+                    for &(link_id, bytes) in &flow.landed {
+                        let mut left = bytes;
+                        let mut chunk_i = 0u8;
+                        while left > 0 {
+                            let chunk = left.min(MAX_FLOW_BYTES);
+                            // Subscribers are spread over the ISP's prefix; each
+                            // chunk goes to a different one (distinct flow keys).
+                            let dst = Ipv4Addr::new(
+                                84,
+                                17,
+                                (fnv64(&flow.src.octets()) % 200) as u8,
+                                20u8.wrapping_add(chunk_i),
+                            );
+                            if let Some(sampled) = sampler.sample(chunk, (flow.src, dst, t)) {
+                                let mut key = [0u8; 9];
+                                key[..4].copy_from_slice(&flow.src.octets());
+                                key[4..8].copy_from_slice(&dst.octets());
+                                key[8] = chunk_i;
+                                if profile.netflow_export_lost(link_id.0 as u64, fnv64(&key), t) {
+                                    // The exporter sampled the packet but the
+                                    // record never reached the collector.
+                                    shard_losses += 1;
+                                } else {
+                                    let rec = make_record(
+                                        flow.src,
+                                        dst,
+                                        (link_id.0 & 0xFFFF) as u16,
+                                        sampled,
+                                        flow.src_as,
+                                        eyeball,
+                                    );
+                                    shard_flows.push((t, link_id, rec));
+                                }
                             }
+                            left -= chunk;
+                            chunk_i = chunk_i.wrapping_add(1);
                         }
-                        left -= chunk;
-                        chunk_i = chunk_i.wrapping_add(1);
                     }
                 }
-            }
-            (shard_flows, shard_losses)
-        });
+                (shard_flows, shard_losses)
+            },
+        )
+        .unwrap_or_else(|e| panic!("traffic tick failed: {e}"));
         for (shard_flows, shard_losses) in partials {
             flows.extend(shard_flows);
             export_losses += shard_losses;

@@ -8,10 +8,11 @@
 
 use metacdn_suite::analysis::{fig3, table1};
 use metacdn_suite::cdn::http::HttpRequest;
-use metacdn_suite::scenario::{ScenarioConfig, World};
+use metacdn_suite::build_world_or_exit;
+use metacdn_suite::scenario::ScenarioConfig;
 
 fn main() {
-    let mut world = World::build(&ScenarioConfig::fast());
+    let mut world = build_world_or_exit(&ScenarioConfig::fast());
 
     // 1. Scan + rDNS + naming scheme → the Figure 3 site map.
     println!("{}", fig3::fig3(&world));

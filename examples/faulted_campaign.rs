@@ -9,7 +9,8 @@ use metacdn_suite::analysis::coverage::dns_campaign_coverage;
 use metacdn_suite::analysis::fig4::fig4_summary;
 use metacdn_suite::faults::{FaultProfile, RetryPolicy};
 use metacdn_suite::geo::{Duration, SimTime};
-use metacdn_suite::scenario::{run_global_dns, ScenarioConfig, World};
+use metacdn_suite::build_world_or_exit;
+use metacdn_suite::scenario::{run_global_dns, ScenarioConfig};
 
 fn main() {
     let mut cfg = ScenarioConfig::fast();
@@ -21,7 +22,7 @@ fn main() {
 
     // A clean run first: the fault layer defaults to FaultProfile::none()
     // and is guaranteed inert.
-    let world = World::build(&cfg);
+    let world = build_world_or_exit(&cfg);
     let clean = run_global_dns(&world, &cfg);
     println!("— clean campaign —");
     println!("{}", dns_campaign_coverage(&clean));
@@ -31,7 +32,7 @@ fn main() {
     // delegations, Pareto-tailed answer latency, 3-attempt backoff.
     cfg.faults = FaultProfile::realistic(params_seed(&cfg));
     cfg.retry = RetryPolicy::standard();
-    let world = World::build(&cfg);
+    let world = build_world_or_exit(&cfg);
     let faulted = run_global_dns(&world, &cfg);
     println!("— faulted campaign (FaultProfile::realistic) —");
     println!("{}", dns_campaign_coverage(&faulted));

@@ -7,9 +7,8 @@
 //! ```
 
 use metacdn_suite::geo::{Continent, Duration, Region, SimTime};
-use metacdn_suite::scenario::{
-    loads, params, run_global_dns, CdnClass, ScenarioConfig, World,
-};
+use metacdn_suite::build_world_or_exit;
+use metacdn_suite::scenario::{loads, params, run_global_dns, CdnClass, ScenarioConfig};
 
 fn main() {
     let mut cfg = ScenarioConfig::fast();
@@ -17,7 +16,7 @@ fn main() {
     cfg.global_dns_interval = Duration::mins(10);
     cfg.global_start = SimTime::from_ymd(2017, 9, 18);
     cfg.global_end = SimTime::from_ymd(2017, 9, 21);
-    let world = World::build(&cfg);
+    let world = build_world_or_exit(&cfg);
     let release = params::release();
 
     println!(

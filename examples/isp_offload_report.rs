@@ -10,9 +10,8 @@
 use metacdn_suite::analysis::{fig7, fig8};
 use metacdn_suite::geo::{Duration, SimTime};
 use metacdn_suite::isp::billing::percentile_95_5;
-use metacdn_suite::scenario::{
-    params, run_isp_dns, run_isp_traffic, ScenarioConfig, World,
-};
+use metacdn_suite::build_world_or_exit;
+use metacdn_suite::scenario::{params, run_isp_dns, run_isp_traffic, ScenarioConfig};
 
 fn main() {
     let mut cfg = ScenarioConfig::fast();
@@ -20,7 +19,7 @@ fn main() {
     cfg.traffic_end = SimTime::from_ymd(2017, 9, 23);
     cfg.isp_start = SimTime::from_ymd(2017, 9, 10);
     cfg.isp_end = SimTime::from_ymd(2017, 9, 24);
-    let world = World::build(&cfg);
+    let world = build_world_or_exit(&cfg);
     let release = params::release();
 
     eprintln!("collecting DNS-observed server IPs (cross-correlation input)…");

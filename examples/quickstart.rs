@@ -9,11 +9,12 @@ use metacdn_suite::core::names;
 use metacdn_suite::dnssim::{QueryContext, RecursiveResolver};
 use metacdn_suite::dnswire::RecordType;
 use metacdn_suite::geo::{Duration, Locode, Registry, SimTime};
-use metacdn_suite::scenario::{loads, params, ScenarioConfig, World};
+use metacdn_suite::build_world_or_exit;
+use metacdn_suite::scenario::{loads, params, ScenarioConfig};
 
 fn main() {
     // The calibrated iOS-11 world: topology, CDNs, mapping zones, probes.
-    let world = World::build(&ScenarioConfig::fast());
+    let world = build_world_or_exit(&ScenarioConfig::fast());
 
     // A client in Berlin, two days before the release.
     let berlin = Registry::by_locode(Locode::parse("deber").unwrap()).unwrap();

@@ -9,11 +9,12 @@
 
 use metacdn_suite::analysis::cache_location;
 use metacdn_suite::scenario::tracecampaign::{min_rtt_per_target, run_traceroutes};
-use metacdn_suite::scenario::{params, ScenarioConfig, World};
+use metacdn_suite::build_world_or_exit;
+use metacdn_suite::scenario::{params, ScenarioConfig};
 use std::net::Ipv4Addr;
 
 fn main() {
-    let world = World::build(&ScenarioConfig::fast());
+    let world = build_world_or_exit(&ScenarioConfig::fast());
 
     // Targets: one vip per Apple site plus representatives of every
     // third-party pool class.

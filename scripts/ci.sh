@@ -39,18 +39,42 @@ MCDN_THREADS=4 cargo run --release -q -p mcdn-analysis --bin mcdn -- campaign gl
 diff -u "$tmpdir/t1.txt" "$tmpdir/t4.txt"
 echo "    identical ($(wc -l < "$tmpdir/t1.txt") lines)"
 
+echo "==> crash recovery: SIGKILL mid-campaign, resume, byte-diff vs uninterrupted"
+# run1.txt above is the uninterrupted campaign. Journal a run, let it
+# self-SIGKILL after round 3 with its checkpoint durable, then resume from
+# the journal; the resumed run's full output must be byte-identical.
+journal="$tmpdir/campaign.journal"
+if MCDN_KILL_AFTER_ROUND=3 cargo run --release -q -p mcdn-analysis --bin mcdn -- \
+    campaign global --journal "$journal" > "$tmpdir/killed.txt" 2> "$tmpdir/killed.err"; then
+  echo "    FAIL: killed run exited 0"; exit 1
+fi
+[ -s "$journal" ] || { echo "    FAIL: no journal written before the kill"; exit 1; }
+grep -q "suspending after 3/" "$tmpdir/killed.err" || {
+  echo "    FAIL: run did not suspend at round 3"; cat "$tmpdir/killed.err"; exit 1; }
+cargo run --release -q -p mcdn-analysis --bin mcdn -- \
+  campaign global --journal "$journal" > "$tmpdir/resumed.txt"
+diff -u "$tmpdir/run1.txt" "$tmpdir/resumed.txt"
+echo "    resumed output identical to uninterrupted run"
+
 echo "==> bench smoke: BENCH_campaigns.json schema"
 scripts/bench.sh --smoke "$tmpdir/BENCH_campaigns.json" > /dev/null
-grep -q '"schema": "mcdn-bench-campaigns-v2"' "$tmpdir/BENCH_campaigns.json"
+grep -q '"schema": "mcdn-bench-campaigns-v3"' "$tmpdir/BENCH_campaigns.json"
 grep -q '"identical_across_threads": true' "$tmpdir/BENCH_campaigns.json"
 if grep -q '"identical_across_threads": false' "$tmpdir/BENCH_campaigns.json"; then
   echo "    FAIL: some campaign diverged across thread counts"; exit 1
 fi
-for field in thread_counts memo_hit_rate wall_ms speedup_vs_serial; do
+for field in thread_counts memo_hit_rate wall_ms speedup_vs_serial checkpoint_overhead_pct; do
   grep -q "\"$field\"" "$tmpdir/BENCH_campaigns.json" || {
     echo "    FAIL: missing field $field"; exit 1; }
 done
 echo "    schema OK"
+
+echo "==> checkpoint overhead: journaled campaign within 5% of plain"
+# bench_campaigns exits nonzero itself when the overhead gate fails; echo
+# the measured figure here for the CI log.
+overhead="$(grep -m1 '"checkpoint_overhead_pct"' "$tmpdir/BENCH_campaigns.json" \
+  | sed 's/.*"checkpoint_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/')"
+echo "    checkpoint_overhead_pct = ${overhead}%"
 
 echo "==> alloc gate: steady-state resolve loop must not allocate"
 grep -q '"allocs_per_resolution": 0.0000' "$tmpdir/BENCH_campaigns.json" || {

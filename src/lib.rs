@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 
 pub use mcdn_analysis as analysis;
+pub use mcdn_journal as journal;
 pub use mcdn_atlas as atlas;
 pub use mcdn_cdn as cdn;
 pub use mcdn_dnssim as dnssim;
@@ -29,3 +30,16 @@ pub use mcdn_netsim as netsim;
 pub use mcdn_scenario as scenario;
 pub use mcdn_workload as workload;
 pub use metacdn as core;
+
+/// Builds the scenario world for `cfg`, reporting a configuration error on
+/// stderr and exiting nonzero instead of panicking — the polite front door
+/// for examples and other end-user binaries.
+pub fn build_world_or_exit(cfg: &scenario::ScenarioConfig) -> scenario::World {
+    match scenario::World::try_build(cfg) {
+        Ok(world) => world,
+        Err(e) => {
+            eprintln!("error: cannot build the scenario world: {e}");
+            std::process::exit(1);
+        }
+    }
+}
