@@ -19,6 +19,7 @@
 //! | [`fig8`] | Figure 8 — overflow share by handover AS |
 //! | [`coverage`] | Data-completeness annotations for fault-injected runs |
 //! | [`chaos`] | Chaos-sweep availability/offload deltas (beyond the paper) |
+//! | [`poisoning`] | Poisoning-sweep mis-mapping deltas, enforcement on vs off (beyond the paper) |
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -34,6 +35,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod poisoning;
 pub mod table;
 pub mod via_inference;
 pub mod table1;

@@ -1,9 +1,10 @@
 //! Measurement probes: located clients with their own caching resolvers.
 
 use mcdn_dnssim::{
-    CompiledNamespace, FaultModel, ICacheExportEntry, IResolutionError, IRoundMemo,
-    InternedFaultModel, InternedResolver, Namespace, QueryContext, RecursiveResolver,
-    ResolutionError, ResolutionTrace, ResolveScratch, RoundMemo,
+    BailiwickPolicy, CompiledNamespace, FaultModel, ICacheExportEntry, IResolutionError,
+    IRoundMemo, InternedFaultModel, InternedMutationModel, InternedResolver, MutationModel,
+    Namespace, NoInternedMutations, NoMutations, QueryContext, RecursiveResolver, ResolutionError,
+    ResolutionTrace, ResolveScratch, RoundMemo,
 };
 use mcdn_dnswire::{Name, RecordType};
 use mcdn_faults::RetryPolicy;
@@ -114,6 +115,52 @@ impl Probe {
         now: SimTime,
         faults: &dyn FaultModel,
         retry: &RetryPolicy,
+        memo: Option<&mut RoundMemo>,
+    ) -> MeasureOutcome {
+        self.measure_adversarial_impl(
+            ns,
+            qname,
+            qtype,
+            now,
+            faults,
+            &NoMutations,
+            BailiwickPolicy::Enforce,
+            retry,
+            memo,
+        )
+    }
+
+    /// [`Probe::measure_memoized`] with an answer-mutation model and an
+    /// explicit [`BailiwickPolicy`] threaded through every attempt.
+    /// Truncated answers are transient, so they burn retry budget exactly
+    /// like timeouts.
+    #[allow(clippy::too_many_arguments)] // the adversarial superset of measure_with
+    pub fn measure_adversarial(
+        &mut self,
+        ns: &Namespace,
+        qname: &Name,
+        qtype: RecordType,
+        now: SimTime,
+        faults: &dyn FaultModel,
+        mutations: &dyn MutationModel,
+        bailiwick: BailiwickPolicy,
+        retry: &RetryPolicy,
+        memo: Option<&mut RoundMemo>,
+    ) -> MeasureOutcome {
+        self.measure_adversarial_impl(ns, qname, qtype, now, faults, mutations, bailiwick, retry, memo)
+    }
+
+    #[allow(clippy::too_many_arguments)] // private driver behind every string entry point
+    fn measure_adversarial_impl(
+        &mut self,
+        ns: &Namespace,
+        qname: &Name,
+        qtype: RecordType,
+        now: SimTime,
+        faults: &dyn FaultModel,
+        mutations: &dyn MutationModel,
+        bailiwick: BailiwickPolicy,
+        retry: &RetryPolicy,
         mut memo: Option<&mut RoundMemo>,
     ) -> MeasureOutcome {
         let mut wait = Duration::secs(0);
@@ -121,12 +168,17 @@ impl Probe {
         for attempt in 0..max {
             wait = wait + retry.backoff_before(attempt);
             let ctx = self.context(now + wait);
-            let (trace, result) = match memo.as_deref_mut() {
-                Some(m) => {
-                    self.resolver.resolve_memoized(ns, qname, qtype, &ctx, faults, attempt, m)
-                }
-                None => self.resolver.resolve_with(ns, qname, qtype, &ctx, faults, attempt),
-            };
+            let (trace, result) = self.resolver.resolve_adversarial(
+                ns,
+                qname,
+                qtype,
+                &ctx,
+                faults,
+                mutations,
+                bailiwick,
+                attempt,
+                memo.as_deref_mut(),
+            );
             let retryable = matches!(&result, Err(e) if e.is_transient());
             if !retryable || attempt + 1 == max {
                 return MeasureOutcome { trace, result, attempts: attempt + 1 };
@@ -152,18 +204,52 @@ impl Probe {
         retry: &RetryPolicy,
         memo: &mut IRoundMemo,
     ) -> (Result<(), IResolutionError>, u32) {
+        self.measure_interned_adversarial(
+            ns,
+            scratch,
+            qname,
+            qtype,
+            now,
+            faults,
+            &NoInternedMutations,
+            BailiwickPolicy::Enforce,
+            retry,
+            memo,
+        )
+    }
+
+    /// [`Probe::measure_interned`] with an answer-mutation model and an
+    /// explicit [`BailiwickPolicy`] — the interned face of
+    /// [`Probe::measure_adversarial`], same retry schedule, same
+    /// hook ordering.
+    #[allow(clippy::too_many_arguments)] // the adversarial superset of measure_interned
+    pub fn measure_interned_adversarial(
+        &mut self,
+        ns: &CompiledNamespace<'_>,
+        scratch: &mut ResolveScratch,
+        qname: NameId,
+        qtype: RecordType,
+        now: SimTime,
+        faults: &dyn InternedFaultModel,
+        mutations: &dyn InternedMutationModel,
+        bailiwick: BailiwickPolicy,
+        retry: &RetryPolicy,
+        memo: &mut IRoundMemo,
+    ) -> (Result<(), IResolutionError>, u32) {
         let mut wait = Duration::secs(0);
         let max = retry.max_attempts.max(1);
         for attempt in 0..max {
             wait = wait + retry.backoff_before(attempt);
             let ctx = self.context(now + wait);
-            let result = self.iresolver.resolve(
+            let result = self.iresolver.resolve_adversarial(
                 ns,
                 scratch,
                 qname,
                 qtype,
                 &ctx,
                 faults,
+                mutations,
+                bailiwick,
                 attempt,
                 Some(memo),
             );

@@ -15,8 +15,9 @@ use mcdn_faults::RetryPolicy;
 use mcdn_geo::{Duration, SimTime};
 use mcdn_scenario::classes::{attribute_interned, classify_ip_from_origin, AttributionTable};
 use mcdn_scenario::{
-    params, run_global_dns_resumable_with, run_global_dns_threads, run_isp_dns_threads,
-    run_isp_traffic_threads, CampaignRun, ResumeOptions, ScenarioConfig, World,
+    params, run_global_dns_resumable_with, run_global_dns_threads, run_global_dns_threads_timed,
+    run_isp_dns_threads_timed, run_isp_traffic_threads, CampaignRun, ResumeOptions, ScenarioConfig,
+    World,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -26,11 +27,14 @@ use std::time::Instant;
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc::new();
 
-/// Wall time and throughput of one run at one worker count.
+/// Wall time and throughput of one run at one worker count, plus the
+/// wall time of every supervised shard (round-major, canonical shard
+/// order) — the load-balance telemetry behind a disappointing speedup.
 struct Run {
     threads: usize,
     wall_ms: f64,
     per_sec: f64,
+    shard_wall_ms: Vec<f64>,
 }
 
 /// One benched campaign: canonical counters plus per-thread-count runs.
@@ -77,7 +81,7 @@ fn bench_campaign<R, F>(
 ) -> (Vec<Run>, bool, Vec<R>)
 where
     R: PartialEq,
-    F: Fn(&World, &ScenarioConfig, usize) -> (u64, R),
+    F: Fn(&World, &ScenarioConfig, usize) -> (u64, R, Vec<std::time::Duration>),
 {
     let mut runs = Vec::new();
     let mut outputs: Vec<R> = Vec::new();
@@ -87,13 +91,14 @@ where
         // a later one.
         let world = World::build(cfg);
         let start = Instant::now();
-        let (work, out) = run(&world, cfg, threads);
+        let (work, out, shard_walls) = run(&world, cfg, threads);
         let wall = start.elapsed();
         let wall_ms = wall.as_secs_f64() * 1e3;
         runs.push(Run {
             threads,
             wall_ms,
             per_sec: if wall_ms > 0.0 { work as f64 / (wall_ms / 1e3) } else { 0.0 },
+            shard_wall_ms: shard_walls.iter().map(|d| d.as_secs_f64() * 1e3).collect(),
         });
         outputs.push(out);
     }
@@ -244,7 +249,7 @@ fn write_json(
     ckpt: &CheckpointOverhead,
 ) {
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"mcdn-bench-campaigns-v3\",");
+    let _ = writeln!(out, "  \"schema\": \"mcdn-bench-campaigns-v4\",");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let counts_s: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
     let _ = writeln!(out, "  \"thread_counts\": [{}],", counts_s.join(", "));
@@ -284,14 +289,16 @@ fn write_json(
         let _ = writeln!(out, "      \"runs\": [");
         for (j, r) in b.runs.iter().enumerate() {
             let speedup = if r.wall_ms > 0.0 { serial / r.wall_ms } else { 0.0 };
+            let walls: Vec<String> = r.shard_wall_ms.iter().map(|w| format!("{w:.3}")).collect();
             let _ = write!(
                 out,
-                "        {{\"threads\": {}, \"wall_ms\": {:.3}, \"{}_per_sec\": {:.1}, \"speedup_vs_serial\": {:.3}}}",
+                "        {{\"threads\": {}, \"wall_ms\": {:.3}, \"{}_per_sec\": {:.1}, \"speedup_vs_serial\": {:.3}, \"shard_wall_ms\": [{}]}}",
                 r.threads,
                 r.wall_ms,
                 json_escape_free(b.units),
                 r.per_sec,
                 speedup,
+                walls.join(", "),
             );
             let _ = writeln!(out, "{}", if j + 1 < b.runs.len() { "," } else { "" });
         }
@@ -317,8 +324,8 @@ fn main() {
     let mut benches = Vec::new();
 
     let (runs, identical, outs) = bench_campaign(&cfg, &counts, |world, cfg, threads| {
-        let r = run_global_dns_threads(world, cfg, threads);
-        (r.resolutions, r)
+        let (r, walls) = run_global_dns_threads_timed(world, cfg, threads);
+        (r.resolutions, r, walls)
     });
     let first = &outs[0];
     benches.push(Bench {
@@ -332,8 +339,8 @@ fn main() {
     });
 
     let (runs, identical, outs) = bench_campaign(&cfg, &counts, |world, cfg, threads| {
-        let r = run_isp_dns_threads(world, cfg, threads);
-        (r.resolutions, r)
+        let (r, walls) = run_isp_dns_threads_timed(world, cfg, threads);
+        (r.resolutions, r, walls)
     });
     let first = &outs[0];
     benches.push(Bench {
@@ -348,7 +355,8 @@ fn main() {
 
     let (runs, identical, outs) = bench_campaign(&cfg, &counts, |world, cfg, threads| {
         let r = run_isp_traffic_threads(world, cfg, threads);
-        (r.flows.len() as u64, r)
+        // The traffic engine exposes no shard timing; walls stay empty.
+        (r.flows.len() as u64, r, Vec::new())
     });
     let first = &outs[0];
     benches.push(Bench {
@@ -391,6 +399,22 @@ fn main() {
             if b.memo_lookups > 0 { b.memo_hits as f64 / b.memo_lookups as f64 } else { 0.0 },
             b.identical,
         );
+    }
+    // Parallel-regression watch: a warning, deliberately not a gate —
+    // shared CI runners make multi-thread wall clocks too noisy to fail
+    // on, but a sub-serial run should never pass silently.
+    for b in &benches {
+        let serial = b.runs.first().map(|r| r.wall_ms).unwrap_or(0.0);
+        for r in b.runs.iter().skip(1) {
+            let speedup = if r.wall_ms > 0.0 { serial / r.wall_ms } else { 0.0 };
+            if speedup < 1.0 {
+                eprintln!(
+                    "bench_campaigns: WARN — {} at {} threads ran {speedup:.3}x serial \
+                     (parallel regression; see shard_wall_ms for the imbalance)",
+                    b.name, r.threads
+                );
+            }
+        }
     }
     eprintln!("bench_campaigns: wrote {out_path}");
     if !all_identical {

@@ -121,6 +121,6 @@ mod tests {
     #[test]
     fn selector_ttl_enables_quick_reroutes() {
         assert_eq!(TTL_SELECTOR, 15);
-        assert!(TTL_ENTRY > TTL_GEO && TTL_GEO > TTL_SELECTOR);
+        const { assert!(TTL_ENTRY > TTL_GEO && TTL_GEO > TTL_SELECTOR) }
     }
 }

@@ -15,10 +15,29 @@ use std::collections::HashMap;
 /// RFC 2308 derives this from the SOA; our zones use a flat value.
 pub const NEGATIVE_TTL: u32 = 60;
 
+/// The hard ceiling a cache puts on any record TTL (7 days, the classic
+/// BIND `max-cache-ttl` default). Every legitimate TTL in the simulated
+/// namespace is at most 21600 s, so the clamp only bites adversarially
+/// inflated answers — it bounds how long a TTL-inflation attack can pin
+/// a poisoned record.
+pub const MAX_CACHE_TTL: u32 = 604_800;
+
+/// Trust rank of a cached RRset, ordered RFC 2181 §5.4.1-style: data from
+/// the answer section of an authoritative zone outranks glue/additional
+/// data, and a lower rank must never overwrite a live higher rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CacheRank {
+    /// Glue/additional-section data: lowest trust.
+    Glue,
+    /// An authoritative answer from the zone holding the name.
+    Authoritative,
+}
+
 #[derive(Debug, Clone)]
 struct Entry {
     records: Vec<ResourceRecord>, // empty = negative entry
     expires: SimTime,
+    rank: CacheRank,
 }
 
 /// A per-resolver DNS cache.
@@ -63,12 +82,48 @@ impl Cache {
         }
     }
 
-    /// Stores an answer. The entry TTL is the minimum record TTL (the whole
-    /// RRset expires together); empty answers are cached for [`NEGATIVE_TTL`].
+    /// Stores an authoritative answer. The entry TTL is the minimum record
+    /// TTL (the whole RRset expires together), clamped to [`MAX_CACHE_TTL`];
+    /// empty answers are cached for [`NEGATIVE_TTL`].
     pub fn put(&mut self, name: Name, qtype: RecordType, records: Vec<ResourceRecord>, now: SimTime) {
+        self.put_ranked(name, qtype, records, now, CacheRank::Authoritative);
+    }
+
+    /// [`Cache::put`] with an explicit [`CacheRank`]. Glue never displaces
+    /// a live authoritative entry (the insert is silently refused); every
+    /// other combination overwrites. Record TTLs are clamped to
+    /// [`MAX_CACHE_TTL`] on the way in, so inflated TTLs cannot outlive
+    /// the cap even before the first `get`.
+    pub fn put_ranked(
+        &mut self,
+        name: Name,
+        qtype: RecordType,
+        mut records: Vec<ResourceRecord>,
+        now: SimTime,
+        rank: CacheRank,
+    ) {
+        let key = (name, qtype.to_u16());
+        if rank == CacheRank::Glue {
+            if let Some(e) = self.entries.get(&key) {
+                if now < e.expires && e.rank == CacheRank::Authoritative {
+                    return;
+                }
+            }
+        }
+        for rr in &mut records {
+            rr.ttl = rr.ttl.min(MAX_CACHE_TTL);
+        }
         let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(NEGATIVE_TTL);
         let expires = now + mcdn_geo::Duration::secs(ttl as u64);
-        self.entries.insert((name, qtype.to_u16()), Entry { records, expires });
+        self.entries.insert(key, Entry { records, expires, rank });
+    }
+
+    /// Iterates every held RRset as `(owner, qtype, records)` — expired
+    /// entries included, since they linger until the next `get`. Audit
+    /// hook for the poisoning sweep: invariant checks scan the whole cache
+    /// for out-of-bailiwick owners or over-cap TTLs.
+    pub fn iter_records(&self) -> impl Iterator<Item = (&Name, u16, &[ResourceRecord])> {
+        self.entries.iter().map(|((name, qtype), e)| (name, *qtype, e.records.as_slice()))
     }
 
     /// Number of live plus expired entries currently held.
@@ -158,6 +213,59 @@ mod tests {
         let t0 = SimTime::from_ymd(2017, 9, 15);
         c.put(n("x.apple.com"), RecordType::A, vec![rr("x.apple.com", 100)], t0);
         assert!(c.get(&n("x.apple.com"), RecordType::Aaaa, t0).is_none());
+    }
+
+    #[test]
+    fn ttl_cap_bounds_inflated_records() {
+        let mut c = Cache::new();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        c.put(n("x.apple.com"), RecordType::A, vec![rr("x.apple.com", u32::MAX)], t0);
+        let got = c.get(&n("x.apple.com"), RecordType::A, t0).unwrap();
+        assert_eq!(got[0].ttl, MAX_CACHE_TTL);
+        // And the entry itself expires at the cap, not at u32::MAX.
+        assert!(c
+            .get(&n("x.apple.com"), RecordType::A, t0 + Duration::secs(MAX_CACHE_TTL as u64))
+            .is_none());
+    }
+
+    #[test]
+    fn glue_never_displaces_live_authoritative_data() {
+        let mut c = Cache::new();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        let name = n("ns1.apple.com");
+        c.put(name.clone(), RecordType::A, vec![rr("ns1.apple.com", 300)], t0);
+        // A glue record claiming a different address must be refused while
+        // the authoritative entry is live...
+        let glue = ResourceRecord::new(name.clone(), 300, RData::A(Ipv4Addr::new(198, 18, 0, 1)));
+        c.put_ranked(name.clone(), RecordType::A, vec![glue.clone()], t0, CacheRank::Glue);
+        let got = c.get(&name, RecordType::A, t0 + Duration::secs(1)).unwrap();
+        assert_eq!(got[0].rdata, RData::A(Ipv4Addr::new(17, 1, 1, 1)));
+        // ...but may fill the slot once it has expired.
+        c.put_ranked(
+            name.clone(),
+            RecordType::A,
+            vec![glue],
+            t0 + Duration::secs(301),
+            CacheRank::Glue,
+        );
+        let got = c.get(&name, RecordType::A, t0 + Duration::secs(302)).unwrap();
+        assert_eq!(got[0].rdata, RData::A(Ipv4Addr::new(198, 18, 0, 1)));
+        // Authoritative data always overwrites glue.
+        c.put(name.clone(), RecordType::A, vec![rr("ns1.apple.com", 300)], t0 + Duration::secs(303));
+        let got = c.get(&name, RecordType::A, t0 + Duration::secs(304)).unwrap();
+        assert_eq!(got[0].rdata, RData::A(Ipv4Addr::new(17, 1, 1, 1)));
+    }
+
+    #[test]
+    fn iter_records_exposes_every_owner() {
+        let mut c = Cache::new();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        c.put(n("a.apple.com"), RecordType::A, vec![rr("a.apple.com", 60)], t0);
+        c.put(n("b.apple.com"), RecordType::A, vec![rr("b.apple.com", 60)], t0);
+        let mut owners: Vec<String> =
+            c.iter_records().map(|(name, _, _)| name.to_string()).collect();
+        owners.sort();
+        assert_eq!(owners, vec!["a.apple.com", "b.apple.com"]);
     }
 
     #[test]

@@ -34,10 +34,11 @@
 //! (trace-for-trace, cache-state-for-cache-state, memo-count-for-count)
 //! and by the campaign-level reference test in `mcdn-scenario`.
 
-use crate::cache::NEGATIVE_TTL;
+use crate::cache::{MAX_CACHE_TTL, NEGATIVE_TTL};
 use crate::context::QueryContext;
 use crate::faults::UpstreamFault;
 use crate::memo::{MemoKey, MemoScope};
+use crate::mutation::{apply_itamper, BailiwickPolicy, ITamper, InternedMutationModel, NoInternedMutations};
 use crate::resolver::{ResolutionTrace, TraceStep, MAX_CHAIN};
 use crate::zone::{MappingPolicy, Namespace, PolicyScope, ZoneAnswer};
 use mcdn_dnswire::{Name, RData, RecordType, ResourceRecord};
@@ -57,6 +58,9 @@ pub enum IRData {
     A(Ipv4Addr),
     /// A CNAME redirect to another interned name.
     Cname(NameId),
+    /// An NS delegation to another interned name (carried structurally so
+    /// bailiwick audits can see injected delegations; never chased).
+    Ns(NameId),
     /// Any other record type, by wire value.
     Opaque(u16),
 }
@@ -80,6 +84,7 @@ impl IRecord {
         match self.rdata {
             IRData::A(_) => RecordType::A.to_u16(),
             IRData::Cname(_) => RecordType::Cname.to_u16(),
+            IRData::Ns(_) => RecordType::Ns.to_u16(),
             IRData::Opaque(t) => t,
         }
     }
@@ -195,6 +200,7 @@ fn compiled_rr(table: &NameTable, rr: &ResourceRecord) -> IRecord {
     let rdata = match &rr.rdata {
         RData::A(a) => IRData::A(*a),
         RData::Cname(t) => IRData::Cname(table.get(t).expect("target interned during compile pass 1")),
+        RData::Ns(t) => IRData::Ns(table.get(t).expect("target interned during compile pass 1")),
         other => IRData::Opaque(other.rtype().to_u16()),
     };
     IRecord { name, ttl: rr.ttl, rdata }
@@ -205,6 +211,15 @@ impl<'a> CompiledNamespace<'a> {
     /// and policy owner, then freezes static record sets into per-zone
     /// arenas and precomputes per-name authority/scope/existence/FNV.
     pub fn compile(ns: &'a Namespace) -> CompiledNamespace<'a> {
+        Self::compile_with_extra(ns, &[])
+    }
+
+    /// [`CompiledNamespace::compile`] with extra names interned into the
+    /// shared table after the namespace's own (deterministic ids, so
+    /// cache export/restore stays valid). Adversarial campaigns intern
+    /// the attacker owner names here so injected records never touch the
+    /// per-scratch overlay on the hot path.
+    pub fn compile_with_extra(ns: &'a Namespace, extra: &[Name]) -> CompiledNamespace<'a> {
         let mut table = NameTable::new();
         // Pass 1: intern, in a deterministic order (zone installation
         // order, then sorted record-set keys / policy owners — the
@@ -216,8 +231,11 @@ impl<'a> CompiledNamespace<'a> {
             for (name, _, rrs) in &sets {
                 table.intern(name);
                 for rr in *rrs {
-                    if let RData::Cname(target) = &rr.rdata {
-                        table.intern(target);
+                    match &rr.rdata {
+                        RData::Cname(target) | RData::Ns(target) => {
+                            table.intern(target);
+                        }
+                        _ => {}
                     }
                 }
             }
@@ -226,6 +244,9 @@ impl<'a> CompiledNamespace<'a> {
             for owner in owners {
                 table.intern(owner);
             }
+        }
+        for name in extra {
+            table.intern(name);
         }
         table.shrink_to_fit();
         // Pass 2: freeze each zone.
@@ -312,11 +333,18 @@ impl<'a> CompiledNamespace<'a> {
 
     /// The name behind `id`, whether table or overlay.
     pub fn name_in<'s>(&'s self, scratch: &'s ResolveScratch, id: NameId) -> &'s Name {
+        self.name_of(&scratch.overlay, id)
+    }
+
+    /// [`CompiledNamespace::name_in`] against a bare overlay — lets the
+    /// resolver borrow the overlay and the answer buffer of one scratch
+    /// disjointly (bailiwick filtering reads names while retaining).
+    fn name_of<'s>(&'s self, overlay: &'s Overlay, id: NameId) -> &'s Name {
         let idx = id.index();
         if idx < self.table.len() {
             self.table.name(id)
         } else {
-            &scratch.overlay.names[idx - self.table.len()]
+            &overlay.names[idx - self.table.len()]
         }
     }
 
@@ -325,6 +353,7 @@ impl<'a> CompiledNamespace<'a> {
         let rdata = match &rr.rdata {
             RData::A(a) => IRData::A(*a),
             RData::Cname(t) => IRData::Cname(self.id_of(overlay, t)),
+            RData::Ns(t) => IRData::Ns(self.id_of(overlay, t)),
             other => IRData::Opaque(other.rtype().to_u16()),
         };
         IRecord { name, ttl: rr.ttl, rdata }
@@ -409,6 +438,7 @@ impl<'a> CompiledNamespace<'a> {
                         let rdata = match r.rdata {
                             IRData::A(a) => RData::A(a),
                             IRData::Cname(t) => RData::Cname(self.name_in(scratch, t).clone()),
+                            IRData::Ns(t) => RData::Ns(self.name_in(scratch, t).clone()),
                             IRData::Opaque(t) => RData::Other(t, Vec::new()),
                         };
                         ResourceRecord::new(self.name_in(scratch, r.name).clone(), r.ttl, rdata)
@@ -568,17 +598,27 @@ impl ICache {
     }
 
     fn put(&mut self, id: NameId, qtype: u16, records: &[IRecord], now: SimTime) {
-        let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(NEGATIVE_TTL);
+        // Same MAX_CACHE_TTL clamp as the string cache: inflated TTLs are
+        // capped on the way in, so they cannot pin entries past the ceiling.
+        let ttl =
+            records.iter().map(|r| r.ttl.min(MAX_CACHE_TTL)).min().unwrap_or(NEGATIVE_TTL);
         let expires = now + Duration::secs(ttl as u64);
         match self.entries.entry((id.0, qtype)) {
             MapEntry::Occupied(mut o) => {
                 let e = o.get_mut();
                 e.records.clear();
-                e.records.extend_from_slice(records);
+                e.records
+                    .extend(records.iter().map(|r| IRecord { ttl: r.ttl.min(MAX_CACHE_TTL), ..*r }));
                 e.expires = expires;
             }
             MapEntry::Vacant(v) => {
-                v.insert(IEntry { records: records.to_vec(), expires });
+                v.insert(IEntry {
+                    records: records
+                        .iter()
+                        .map(|r| IRecord { ttl: r.ttl.min(MAX_CACHE_TTL), ..*r })
+                        .collect(),
+                    expires,
+                });
             }
         }
     }
@@ -704,13 +744,20 @@ pub enum IResolutionError {
     ServFail(NameId),
     /// The query timed out (injected fault).
     Timeout(NameId),
+    /// The answer arrived truncated/garbled (injected answer mutation).
+    Truncated(NameId),
 }
 
 impl IResolutionError {
     /// Whether a retry could plausibly succeed — exactly
     /// [`ResolutionError::is_transient`](crate::ResolutionError::is_transient).
     pub fn is_transient(&self) -> bool {
-        matches!(self, IResolutionError::ServFail(_) | IResolutionError::Timeout(_))
+        matches!(
+            self,
+            IResolutionError::ServFail(_)
+                | IResolutionError::Timeout(_)
+                | IResolutionError::Truncated(_)
+        )
     }
 }
 
@@ -800,6 +847,56 @@ impl InternedResolver {
         ctx: &QueryContext,
         faults: &dyn InternedFaultModel,
         attempt: u32,
+        memo: Option<&mut IRoundMemo>,
+    ) -> Result<(), IResolutionError> {
+        self.resolve_inner(
+            ns,
+            scratch,
+            qname,
+            qtype,
+            ctx,
+            faults,
+            &NoInternedMutations,
+            BailiwickPolicy::Enforce,
+            attempt,
+            memo,
+        )
+    }
+
+    /// The interned twin of
+    /// [`RecursiveResolver::resolve_adversarial`](crate::RecursiveResolver::resolve_adversarial):
+    /// fault model, answer-mutation model, explicit [`BailiwickPolicy`],
+    /// optional memo. [`InternedResolver::resolve`] is this with
+    /// [`NoInternedMutations`] and [`BailiwickPolicy::Enforce`].
+    #[allow(clippy::too_many_arguments)] // the superset of every entry point
+    pub fn resolve_adversarial(
+        &mut self,
+        ns: &CompiledNamespace<'_>,
+        scratch: &mut ResolveScratch,
+        qname: NameId,
+        qtype: RecordType,
+        ctx: &QueryContext,
+        faults: &dyn InternedFaultModel,
+        mutations: &dyn InternedMutationModel,
+        bailiwick: BailiwickPolicy,
+        attempt: u32,
+        memo: Option<&mut IRoundMemo>,
+    ) -> Result<(), IResolutionError> {
+        self.resolve_inner(ns, scratch, qname, qtype, ctx, faults, mutations, bailiwick, attempt, memo)
+    }
+
+    #[allow(clippy::too_many_arguments)] // private driver behind the entry points
+    fn resolve_inner(
+        &mut self,
+        ns: &CompiledNamespace<'_>,
+        scratch: &mut ResolveScratch,
+        qname: NameId,
+        qtype: RecordType,
+        ctx: &QueryContext,
+        faults: &dyn InternedFaultModel,
+        mutations: &dyn InternedMutationModel,
+        bailiwick: BailiwickPolicy,
+        attempt: u32,
         mut memo: Option<&mut IRoundMemo>,
     ) -> Result<(), IResolutionError> {
         scratch.trace.clear();
@@ -812,6 +909,7 @@ impl InternedResolver {
             } else {
                 from_cache = false;
                 let meta = ns.meta_of(&scratch.overlay, current);
+                let mut tamper = None;
                 if let Some(zi) = meta.authority {
                     let zorigin = ns.zones[zi as usize].origin;
                     let zone_fnv = ns.fnv_in(scratch, zorigin);
@@ -825,8 +923,17 @@ impl InternedResolver {
                             UpstreamFault::Timeout => IResolutionError::Timeout(current),
                         });
                     }
+                    // Mutation hook after the fault hook, exactly like the
+                    // string path.
+                    tamper = mutations
+                        .answer_mutation(zorigin, zone_fnv, current, qname_fnv, ctx, attempt);
+                    if matches!(tamper, Some(ITamper::Truncate)) {
+                        scratch.trace.push(current, qtype, &[], false, Some(zorigin));
+                        return Err(IResolutionError::Truncated(current));
+                    }
                 }
-                let memo_key = if memo.is_some() {
+                // Tampered queries bypass the memo entirely.
+                let memo_key = if memo.is_some() && tamper.is_none() {
                     MemoScope::for_query(meta.scope, ctx.locode)
                         .map(|scope| (current, qtype, scope, ctx.now))
                 } else {
@@ -851,6 +958,24 @@ impl InternedResolver {
                         );
                         match ans {
                             IAnswer::Records => {
+                                if let Some(t) = &tamper {
+                                    apply_itamper(&mut scratch.answer, t);
+                                }
+                                // Bailiwick enforcement, mirroring the
+                                // string path: drop out-of-zone owners
+                                // before the cache, memo, or trace see
+                                // them. Name reads go through the overlay
+                                // borrow so the retain stays in place,
+                                // allocation-free.
+                                if bailiwick == BailiwickPolicy::Enforce {
+                                    if let Some(zo) = z {
+                                        let ov = &scratch.overlay;
+                                        let origin_name = ns.name_of(ov, zo);
+                                        scratch
+                                            .answer
+                                            .retain(|r| ns.name_of(ov, r.name).is_within(origin_name));
+                                    }
+                                }
                                 self.cache.put(current, qtype.to_u16(), &scratch.answer, ctx.now);
                                 if let (Some(m), Some(key)) = (memo.as_deref_mut(), memo_key) {
                                     m.store(key, &scratch.answer, z);
@@ -999,7 +1124,7 @@ mod tests {
                     if qtype != RecordType::A {
                         return Vec::new();
                     }
-                    let gslb = if ctx.client_ip.octets()[3] % 2 == 0 { "a" } else { "b" };
+                    let gslb = if ctx.client_ip.octets()[3].is_multiple_of(2) { "a" } else { "b" };
                     vec![ResourceRecord::new(
                         record_owner.clone(),
                         15,
@@ -1059,6 +1184,9 @@ mod tests {
             }
             IResolutionError::Timeout(id) => {
                 ResolutionError::Timeout(ns.name_in(scratch, id).clone())
+            }
+            IResolutionError::Truncated(id) => {
+                ResolutionError::Truncated(ns.name_in(scratch, id).clone())
             }
         }
     }
@@ -1183,6 +1311,119 @@ mod tests {
                 (Ok(()), Ok(())) => {}
                 (Err(e), Err(want)) => assert_eq!(materialize_err(&cns, &scratch, e), want),
                 (got, want) => panic!("result mismatch: {got:?} vs {want:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn matches_string_path_under_answer_mutations() {
+        use crate::mutation::{attacker_ns, attacker_owner, AnswerTamper};
+
+        let ns = build_ns();
+        let extra = [attacker_owner(), attacker_ns()];
+        let cns = CompiledNamespace::compile_with_extra(&ns, &extra);
+        let owner_id = cns.table().get(&attacker_owner()).unwrap();
+        let ns_id = cns.table().get(&attacker_ns()).unwrap();
+        let akadns_key = display_fnv(&n("apple.com.akadns.net"));
+        let applimg_key = display_fnv(&n("applimg.com"));
+        let attacker_addr = Ipv4Addr::new(198, 18, 7, 7);
+
+        // One mutation kind per iteration, fired at a fixed zone, under
+        // both bailiwick postures; string and interned models key off the
+        // same display digests so they fire identically.
+        for kind in 0..4u8 {
+            for bailiwick in [BailiwickPolicy::Enforce, BailiwickPolicy::Accept] {
+                let string_muts = move |zone: &Name, _q: &Name, _c: &QueryContext, _a: u32| {
+                    let zk = display_fnv(zone);
+                    match kind {
+                        0 if zk == akadns_key => Some(AnswerTamper::SpoofA {
+                            owner: attacker_owner(),
+                            addr: attacker_addr,
+                            ttl: 600,
+                        }),
+                        1 if zk == applimg_key => Some(AnswerTamper::InjectNs {
+                            owner: attacker_owner(),
+                            target: attacker_ns(),
+                            ttl: 600,
+                        }),
+                        2 if zk == applimg_key => Some(AnswerTamper::Truncate),
+                        3 if zk == akadns_key => Some(AnswerTamper::InflateTtl { factor: 10_000 }),
+                        _ => None,
+                    }
+                };
+                let interned_muts = move |_z: NameId,
+                                          zone_fnv: u64,
+                                          _qn: NameId,
+                                          _qf: u64,
+                                          _c: &QueryContext,
+                                          _a: u32| {
+                    match kind {
+                        0 if zone_fnv == akadns_key => Some(ITamper::SpoofA {
+                            owner: owner_id,
+                            addr: attacker_addr,
+                            ttl: 600,
+                        }),
+                        1 if zone_fnv == applimg_key => Some(ITamper::InjectNs {
+                            owner: owner_id,
+                            target: ns_id,
+                            ttl: 600,
+                        }),
+                        2 if zone_fnv == applimg_key => Some(ITamper::Truncate),
+                        3 if zone_fnv == akadns_key => Some(ITamper::InflateTtl { factor: 10_000 }),
+                        _ => None,
+                    }
+                };
+                let mut string = RecursiveResolver::new();
+                let mut interned = InternedResolver::new();
+                let mut scratch = ResolveScratch::new();
+                let t0 = SimTime::from_ymd(2017, 9, 19);
+                let entry = n("appldnld.apple.com");
+                let entry_id = cns.intern_in(&mut scratch, &entry);
+                // Several rounds so cached poisoned/clean entries interact
+                // with later resolutions on both paths.
+                for step in 0..4u64 {
+                    let c = ctx(2, "defra", Continent::Europe, t0 + Duration::secs(step * 40));
+                    let (want_trace, want_result) = string.resolve_adversarial(
+                        &ns,
+                        &entry,
+                        RecordType::A,
+                        &c,
+                        &NoFaults,
+                        &string_muts,
+                        bailiwick,
+                        0,
+                        None,
+                    );
+                    let got = interned.resolve_adversarial(
+                        &cns,
+                        &mut scratch,
+                        entry_id,
+                        RecordType::A,
+                        &c,
+                        &NoInternedFaults,
+                        &interned_muts,
+                        bailiwick,
+                        0,
+                        None,
+                    );
+                    assert_eq!(
+                        cns.materialize_trace(&scratch, scratch.trace()),
+                        want_trace,
+                        "kind {kind} {bailiwick:?} step {step}"
+                    );
+                    match (got, want_result) {
+                        (Ok(()), Ok(())) => {}
+                        (Err(e), Err(want)) => {
+                            assert_eq!(materialize_err(&cns, &scratch, e), want)
+                        }
+                        (got, want) => panic!("result mismatch: {got:?} vs {want:?}"),
+                    }
+                    assert_eq!(
+                        interned.cache_stats(),
+                        string.cache_stats(),
+                        "cache stats diverged: kind {kind} {bailiwick:?} step {step}"
+                    );
+                }
             }
         }
     }

@@ -80,7 +80,11 @@ impl IterativeResolver {
                 .authority_for(&current)
                 .ok_or_else(|| IterativeError::NoAuthority(current.clone()))?;
             match zone.answer(&current, qtype, ctx) {
-                ZoneAnswer::Records(rrs) => {
+                ZoneAnswer::Records(mut rrs) => {
+                    // The iterative walk is always strict about bailiwick:
+                    // a zone can only answer for names it is authoritative
+                    // over, exactly as a validating root-down walk behaves.
+                    rrs.retain(|rr| rr.name.is_within(zone.origin()));
                     let mut next = None;
                     for rr in &rrs {
                         match &rr.rdata {

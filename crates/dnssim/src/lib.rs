@@ -37,11 +37,12 @@ pub mod faults;
 pub mod interned;
 pub mod iterative;
 pub mod memo;
+pub mod mutation;
 pub mod resolver;
 pub mod wire;
 pub mod zone;
 
-pub use cache::Cache;
+pub use cache::{Cache, CacheRank, MAX_CACHE_TTL};
 pub use context::QueryContext;
 pub use faults::{FaultModel, NoFaults, UpstreamFault};
 pub use interned::{
@@ -50,6 +51,10 @@ pub use interned::{
 };
 pub use iterative::{IterativeResolver, IterativeOutcome};
 pub use memo::{MemoKey, MemoScope, RoundMemo};
+pub use mutation::{
+    AnswerTamper, BailiwickPolicy, ITamper, InternedMutationModel, MutationModel,
+    NoInternedMutations, NoMutations, apply_itamper, apply_tamper, attacker_ns, attacker_owner,
+};
 pub use resolver::{RecursiveResolver, ResolutionError, ResolutionTrace, TraceStep};
 pub use wire::serve;
 pub use zone::{MappingPolicy, Namespace, PolicyScope, Zone, ZoneAnswer};

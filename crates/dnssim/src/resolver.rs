@@ -4,6 +4,7 @@ use crate::cache::Cache;
 use crate::context::QueryContext;
 use crate::faults::{FaultModel, NoFaults, UpstreamFault};
 use crate::memo::{MemoScope, RoundMemo};
+use crate::mutation::{apply_tamper, AnswerTamper, BailiwickPolicy, MutationModel, NoMutations};
 use crate::zone::{Namespace, ZoneAnswer};
 use mcdn_dnswire::{Name, RData, RecordType, ResourceRecord};
 use std::net::Ipv4Addr;
@@ -86,6 +87,11 @@ pub enum ResolutionError {
     /// An upstream query for this name timed out (injected via a
     /// [`crate::faults::FaultModel`]; transient — retryable).
     Timeout(Name),
+    /// The authoritative answer for this name arrived truncated or garbled
+    /// beyond use (injected via a [`crate::mutation::MutationModel`];
+    /// transient — retryable, like a real resolver falling back after a
+    /// malformed UDP response).
+    Truncated(Name),
 }
 
 impl ResolutionError {
@@ -93,7 +99,12 @@ impl ResolutionError {
     /// NXDOMAIN and over-long chains are authoritative facts; SERVFAIL and
     /// timeouts are weather.
     pub fn is_transient(&self) -> bool {
-        matches!(self, ResolutionError::ServFail(_) | ResolutionError::Timeout(_))
+        matches!(
+            self,
+            ResolutionError::ServFail(_)
+                | ResolutionError::Timeout(_)
+                | ResolutionError::Truncated(_)
+        )
     }
 }
 
@@ -104,6 +115,9 @@ impl core::fmt::Display for ResolutionError {
             ResolutionError::ChainTooLong => write!(f, "CNAME chain too long"),
             ResolutionError::ServFail(n) => write!(f, "SERVFAIL while resolving {n}"),
             ResolutionError::Timeout(n) => write!(f, "upstream timeout while resolving {n}"),
+            ResolutionError::Truncated(n) => {
+                write!(f, "truncated/malformed answer while resolving {n}")
+            }
         }
     }
 }
@@ -151,7 +165,17 @@ impl RecursiveResolver {
         faults: &dyn FaultModel,
         attempt: u32,
     ) -> (ResolutionTrace, Result<(), ResolutionError>) {
-        self.resolve_inner(ns, qname, qtype, ctx, faults, attempt, None)
+        self.resolve_inner(
+            ns,
+            qname,
+            qtype,
+            ctx,
+            faults,
+            &NoMutations,
+            BailiwickPolicy::Enforce,
+            attempt,
+            None,
+        )
     }
 
     /// Like [`RecursiveResolver::resolve_with`], additionally consulting a
@@ -172,10 +196,42 @@ impl RecursiveResolver {
         attempt: u32,
         memo: &mut RoundMemo,
     ) -> (ResolutionTrace, Result<(), ResolutionError>) {
-        self.resolve_inner(ns, qname, qtype, ctx, faults, attempt, Some(memo))
+        self.resolve_inner(
+            ns,
+            qname,
+            qtype,
+            ctx,
+            faults,
+            &NoMutations,
+            BailiwickPolicy::Enforce,
+            attempt,
+            Some(memo),
+        )
     }
 
-    #[allow(clippy::too_many_arguments)] // private driver behind the two entry points
+    /// The full adversarial entry point: a fault model, an answer-mutation
+    /// model, an explicit [`BailiwickPolicy`], and an optional round memo.
+    /// Every other entry point is this with [`NoMutations`] and
+    /// [`BailiwickPolicy::Enforce`]. A tampered query bypasses the memo
+    /// (like faulted queries do), so replayed answers are always the
+    /// untampered authoritative ones.
+    #[allow(clippy::too_many_arguments)] // the superset of every entry point
+    pub fn resolve_adversarial(
+        &mut self,
+        ns: &Namespace,
+        qname: &Name,
+        qtype: RecordType,
+        ctx: &QueryContext,
+        faults: &dyn FaultModel,
+        mutations: &dyn MutationModel,
+        bailiwick: BailiwickPolicy,
+        attempt: u32,
+        memo: Option<&mut RoundMemo>,
+    ) -> (ResolutionTrace, Result<(), ResolutionError>) {
+        self.resolve_inner(ns, qname, qtype, ctx, faults, mutations, bailiwick, attempt, memo)
+    }
+
+    #[allow(clippy::too_many_arguments)] // private driver behind the entry points
     fn resolve_inner(
         &mut self,
         ns: &Namespace,
@@ -183,6 +239,8 @@ impl RecursiveResolver {
         qtype: RecordType,
         ctx: &QueryContext,
         faults: &dyn FaultModel,
+        mutations: &dyn MutationModel,
+        bailiwick: BailiwickPolicy,
         attempt: u32,
         mut memo: Option<&mut RoundMemo>,
     ) -> (ResolutionTrace, Result<(), ResolutionError>) {
@@ -193,18 +251,16 @@ impl RecursiveResolver {
             let (records, from_cache, zone) = match self.cache.get(&current, qtype, ctx.now) {
                 Some(cached) => (cached, true, None),
                 None => {
-                    let faulted = ns.authority_for(&current).and_then(|z| {
-                        faults
-                            .upstream_fault(z.origin(), &current, ctx, attempt)
-                            .map(|f| (f, z.origin().clone()))
-                    });
-                    if let Some((fault, origin)) = faulted {
+                    let authority = ns.authority_for(&current);
+                    let faulted = authority
+                        .and_then(|z| faults.upstream_fault(z.origin(), &current, ctx, attempt));
+                    if let Some(fault) = faulted {
                         trace.steps.push(TraceStep {
                             qname: current.clone(),
                             qtype,
                             records: Vec::new(),
                             from_cache: false,
-                            zone: Some(origin),
+                            zone: authority.map(|z| z.origin().clone()),
                         });
                         let err = match fault {
                             UpstreamFault::ServFail => ResolutionError::ServFail(current),
@@ -212,10 +268,27 @@ impl RecursiveResolver {
                         };
                         return (trace, Err(err));
                     }
-                    let memo_key = match &memo {
-                        Some(_) => MemoScope::for_query(ns.scope_of(&current), ctx.locode)
+                    // The mutation hook runs after the fault hook: a query
+                    // that never reaches the zone cannot see a tampered
+                    // answer.
+                    let tamper = authority
+                        .and_then(|z| mutations.answer_mutation(z.origin(), &current, ctx, attempt));
+                    if matches!(tamper, Some(AnswerTamper::Truncate)) {
+                        trace.steps.push(TraceStep {
+                            qname: current.clone(),
+                            qtype,
+                            records: Vec::new(),
+                            from_cache: false,
+                            zone: authority.map(|z| z.origin().clone()),
+                        });
+                        return (trace, Err(ResolutionError::Truncated(current)));
+                    }
+                    // Tampered queries bypass the memo entirely: the memo
+                    // must only ever hold clean authoritative answers.
+                    let memo_key = match (&memo, &tamper) {
+                        (Some(_), None) => MemoScope::for_query(ns.scope_of(&current), ctx.locode)
                             .map(|scope| (current.clone(), qtype, scope, ctx.now)),
-                        None => None,
+                        _ => None,
                     };
                     let replayed = match (memo.as_deref_mut(), &memo_key) {
                         (Some(m), Some(key)) => m.replay(key),
@@ -228,7 +301,20 @@ impl RecursiveResolver {
                         (rrs, false, zone)
                     } else {
                         match ns.query(&current, qtype, ctx) {
-                            (ZoneAnswer::Records(rrs), zone) => {
+                            (ZoneAnswer::Records(mut rrs), zone) => {
+                                if let Some(t) = &tamper {
+                                    apply_tamper(&mut rrs, t);
+                                }
+                                // Bailiwick enforcement: drop records whose
+                                // owner lies outside the answering zone
+                                // before anything downstream (trace, cache,
+                                // memo) can see them. A no-op for every
+                                // well-formed answer.
+                                if bailiwick == BailiwickPolicy::Enforce {
+                                    if let Some(origin) = zone {
+                                        rrs.retain(|rr| rr.name.is_within(origin));
+                                    }
+                                }
                                 self.cache.put(current.clone(), qtype, rrs.clone(), ctx.now);
                                 if let (Some(m), Some(key)) = (memo.as_deref_mut(), memo_key) {
                                     m.store(key, rrs.clone(), zone.cloned());
@@ -542,6 +628,118 @@ mod tests {
         assert_eq!(memo.len(), 3);
         assert_eq!(memo.lookups(), 12);
         assert_eq!(memo.hits(), 9);
+    }
+
+    #[test]
+    fn spoofed_records_are_dropped_under_enforce_and_land_under_accept() {
+        let ns = namespace();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        let attacker = crate::mutation::attacker_owner();
+        let attacker_addr = Ipv4Addr::new(198, 18, 0, 9);
+        let spoof = {
+            let attacker = attacker.clone();
+            move |zone: &Name, _q: &Name, _c: &QueryContext, _a: u32| {
+                (*zone == n("akadns.net")).then(|| AnswerTamper::SpoofA {
+                    owner: attacker.clone(),
+                    addr: attacker_addr,
+                    ttl: 600,
+                })
+            }
+        };
+        // Enforce drops the out-of-bailiwick record before anything sees
+        // it: the whole resolution is bit-identical to the clean one.
+        let clean =
+            RecursiveResolver::new().resolve(&ns, &n("appldnld.apple.com"), RecordType::A, &ctx_at(t0));
+        let enforced = RecursiveResolver::new().resolve_adversarial(
+            &ns,
+            &n("appldnld.apple.com"),
+            RecordType::A,
+            &ctx_at(t0),
+            &NoFaults,
+            &spoof,
+            BailiwickPolicy::Enforce,
+            0,
+            None,
+        );
+        assert_eq!(clean, enforced, "enforcement must neutralize the spoof exactly");
+        // Accept: the attacker A record satisfies the terminal check at
+        // the tampered hop, so the chase halts there mis-mapped.
+        let (trace, res) = RecursiveResolver::new().resolve_adversarial(
+            &ns,
+            &n("appldnld.apple.com"),
+            RecordType::A,
+            &ctx_at(t0),
+            &NoFaults,
+            &spoof,
+            BailiwickPolicy::Accept,
+            0,
+            None,
+        );
+        res.unwrap();
+        assert!(trace.addresses().contains(&attacker_addr));
+        assert!(trace.steps.iter().any(|s| s.records.iter().any(|rr| rr.name == attacker)));
+    }
+
+    #[test]
+    fn truncation_fails_transiently_with_trace() {
+        let ns = namespace();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        let trunc = |zone: &Name, _q: &Name, _c: &QueryContext, _a: u32| {
+            (*zone == n("applimg.com")).then_some(AnswerTamper::Truncate)
+        };
+        let (trace, res) = RecursiveResolver::new().resolve_adversarial(
+            &ns,
+            &n("appldnld.apple.com"),
+            RecordType::A,
+            &ctx_at(t0),
+            &NoFaults,
+            &trunc,
+            BailiwickPolicy::Enforce,
+            0,
+            None,
+        );
+        let err = res.unwrap_err();
+        assert_eq!(err, ResolutionError::Truncated(n("appldnld.g.applimg.com")));
+        assert!(err.is_transient());
+        let last = trace.steps.last().unwrap();
+        assert_eq!(last.zone, Some(n("applimg.com")));
+        assert!(last.records.is_empty());
+    }
+
+    #[test]
+    fn tampered_queries_bypass_the_round_memo() {
+        let ns = namespace();
+        let t0 = SimTime::from_ymd(2017, 9, 15);
+        let q = n("appldnld.apple.com");
+        let mut clean_memo = RoundMemo::new();
+        let _ = RecursiveResolver::new().resolve_adversarial(
+            &ns,
+            &q,
+            RecordType::A,
+            &ctx_at(t0),
+            &NoFaults,
+            &NoMutations,
+            BailiwickPolicy::Enforce,
+            0,
+            Some(&mut clean_memo),
+        );
+        assert_eq!(clean_memo.len(), 4, "all four chain hops memoize cleanly");
+        let inflate = |zone: &Name, _q: &Name, _c: &QueryContext, _a: u32| {
+            (*zone == n("akadns.net")).then_some(AnswerTamper::InflateTtl { factor: 1000 })
+        };
+        let mut memo = RoundMemo::new();
+        let _ = RecursiveResolver::new().resolve_adversarial(
+            &ns,
+            &q,
+            RecordType::A,
+            &ctx_at(t0),
+            &NoFaults,
+            &inflate,
+            BailiwickPolicy::Enforce,
+            0,
+            Some(&mut memo),
+        );
+        assert_eq!(memo.len(), 3, "the tampered hop must not enter the memo");
     }
 
     #[test]

@@ -33,4 +33,4 @@ pub use edns::{attach_ecs, extract_ecs, ClientSubnet};
 pub use error::WireError;
 pub use message::{Flags, Header, Message, Opcode, Question, Rcode};
 pub use name::Name;
-pub use rr::{Class, RData, RecordType, ResourceRecord};
+pub use rr::{Class, RData, RecordType, ResourceRecord, Soa};

@@ -274,6 +274,17 @@ impl Message {
         let count = |i: usize| u16::from_be_bytes([buf[4 + 2 * i], buf[5 + 2 * i]]) as usize;
         let (qd, an, ns, ar) = (count(0), count(1), count(2), count(3));
 
+        // Count sanity: even maximally compressed, a question costs 5 bytes
+        // (pointer name + type/class) and a record 11 (pointer name + fixed
+        // part + empty RDATA). Headers claiming more entries than the
+        // remaining bytes could possibly hold are rejected up front, so a
+        // 12-byte flood with inflated counts costs O(1), not 4×65535
+        // aborted section parses.
+        let floor = qd * 5 + (an + ns + ar) * 11;
+        if floor > buf.len() - 12 {
+            return Err(WireError::Truncated);
+        }
+
         let mut pos = 12;
         let mut questions = Vec::with_capacity(qd.min(32));
         for _ in 0..qd {

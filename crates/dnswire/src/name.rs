@@ -326,7 +326,7 @@ mod tests {
 
     #[test]
     fn ordering_is_stable() {
-        let mut v = vec![n("b.com"), n("a.com"), n("a.com")];
+        let mut v = [n("b.com"), n("a.com"), n("a.com")];
         v.sort();
         assert_eq!(v[0], n("a.com"));
     }

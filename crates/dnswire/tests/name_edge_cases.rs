@@ -1,0 +1,234 @@
+//! Table-driven edge cases for wire-format name decoding.
+//!
+//! These pin the boundary behaviour of `Name::decode` — the exact label
+//! and name caps of RFC 1035 §2.3.4, compression-pointer chain handling,
+//! and every rejection class an adversarial message can trigger. The
+//! fuzzer (`mcdn-fuzzwire`) exercises the same decoder with random
+//! mutations; this table keeps the *specific* boundaries pinned so a
+//! regression is named, not just "a fuzz failure".
+
+use mcdn_dnswire::{Name, WireError};
+
+/// One decode expectation: the raw message bytes, the start offset, and
+/// either the decoded (name, resume position) or the exact error.
+struct Case {
+    desc: &'static str,
+    buf: Vec<u8>,
+    pos: usize,
+    want: Result<(Name, usize), WireError>,
+}
+
+fn n(s: &str) -> Name {
+    Name::parse(s).unwrap()
+}
+
+/// A label of `len` repeated bytes, length octet included.
+fn label(byte: u8, len: usize) -> Vec<u8> {
+    let mut out = vec![len as u8];
+    out.extend(std::iter::repeat_n(byte, len));
+    out
+}
+
+/// Wire bytes for a name made of `lens` label lengths (filled with 'a',
+/// 'b', … per label), plus the terminating zero.
+fn wire_name(lens: &[usize]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (i, &len) in lens.iter().enumerate() {
+        out.extend(label(b'a' + (i as u8 % 26), len));
+    }
+    out.push(0);
+    out
+}
+
+fn cases() -> Vec<Case> {
+    let mut cases = Vec::new();
+
+    // -- Root label ---------------------------------------------------
+    cases.push(Case {
+        desc: "bare root label",
+        buf: vec![0],
+        pos: 0,
+        want: Ok((Name::root(), 1)),
+    });
+    cases.push(Case {
+        desc: "root label mid-buffer",
+        buf: vec![0xFF, 0xFF, 0],
+        pos: 2,
+        want: Ok((Name::root(), 3)),
+    });
+
+    // -- Label length cap (63) ---------------------------------------
+    let max_label = wire_name(&[63]);
+    let max_label_name = Name::from_labels([vec![b'a'; 63]]).unwrap();
+    cases.push(Case {
+        desc: "63-byte label is the maximum",
+        buf: max_label.clone(),
+        pos: 0,
+        want: Ok((max_label_name, max_label.len())),
+    });
+    // A 64-byte "label" is not a long label: 64 = 0b0100_0000 is a
+    // reserved label type on the wire.
+    cases.push(Case {
+        desc: "64-byte label length is a reserved label type",
+        buf: wire_name(&[64]),
+        pos: 0,
+        want: Err(WireError::BadLabelType),
+    });
+    cases.push(Case {
+        desc: "reserved 0b10 label type",
+        buf: vec![0x80, 0x01, 0],
+        pos: 0,
+        want: Err(WireError::BadLabelType),
+    });
+
+    // -- Whole-name cap (255 wire bytes, terminator included) ---------
+    // 63+1 + 63+1 + 63+1 + 61+1 + 1 = 255: exactly at the cap.
+    let at_cap = wire_name(&[63, 63, 63, 61]);
+    assert_eq!(at_cap.len(), 255);
+    let at_cap_name = Name::from_labels([
+        vec![b'a'; 63],
+        vec![b'b'; 63],
+        vec![b'c'; 63],
+        vec![b'd'; 61],
+    ])
+    .unwrap();
+    cases.push(Case {
+        desc: "255-byte name is accepted",
+        buf: at_cap.clone(),
+        pos: 0,
+        want: Ok((at_cap_name, 255)),
+    });
+    let over_cap = wire_name(&[63, 63, 63, 62]);
+    assert_eq!(over_cap.len(), 256);
+    cases.push(Case {
+        desc: "256-byte name exceeds the cap",
+        buf: over_cap,
+        pos: 0,
+        want: Err(WireError::NameTooLong),
+    });
+    // The cap also applies to names assembled across pointers: a chain
+    // of 62-byte labels each pointing at the previous grows past 255.
+    {
+        let mut buf = wire_name(&[63, 63, 63]); // 192 wire bytes + zero
+        let tail_at = buf.len();
+        buf.extend(label(b'z', 63));
+        buf.push(0xC0);
+        buf.push(0);
+        cases.push(Case {
+            desc: "pointer-assembled name exceeds the cap",
+            buf,
+            pos: tail_at,
+            want: Err(WireError::NameTooLong),
+        });
+    }
+
+    // -- Pointer-to-pointer chains ------------------------------------
+    {
+        // "apple.com" at 0; "www" + pointer→0 at 11; pointer→11 at 16.
+        let mut buf = Vec::new();
+        n("apple.com").encode_uncompressed(&mut buf);
+        let www_at = buf.len();
+        buf.push(3);
+        buf.extend_from_slice(b"www");
+        buf.push(0xC0);
+        buf.push(0); // → "apple.com" at offset 0
+        let chain_at = buf.len();
+        buf.push(0xC0);
+        buf.push(www_at as u8);
+        cases.push(Case {
+            desc: "pointer to a name that itself ends in a pointer",
+            buf,
+            pos: chain_at,
+            want: Ok((n("www.apple.com"), chain_at + 2)),
+        });
+    }
+
+    // -- Pointer offset past the message end --------------------------
+    // Any in-message offset ≥ the pointer's own position is rejected as
+    // a (potential) forward loop; an offset past the end of the buffer
+    // is the same violation taken further.
+    cases.push(Case {
+        desc: "pointer past message end",
+        buf: vec![0xC3, 0xE8], // → offset 1000 in a 2-byte message
+        pos: 0,
+        want: Err(WireError::BadPointer),
+    });
+    cases.push(Case {
+        desc: "pointer to itself",
+        buf: vec![0xC0, 0x00],
+        pos: 0,
+        want: Err(WireError::BadPointer),
+    });
+    cases.push(Case {
+        desc: "forward pointer",
+        buf: vec![0xC0, 0x02, 0x00],
+        pos: 0,
+        want: Err(WireError::BadPointer),
+    });
+    cases.push(Case {
+        desc: "pointer missing its second octet",
+        buf: vec![0xC0],
+        pos: 0,
+        want: Err(WireError::Truncated),
+    });
+
+    // -- Truncation ----------------------------------------------------
+    cases.push(Case {
+        desc: "label runs past the buffer",
+        buf: vec![5, b'a', b'b'],
+        pos: 0,
+        want: Err(WireError::Truncated),
+    });
+    cases.push(Case {
+        desc: "missing terminator",
+        buf: vec![1, b'a'],
+        pos: 0,
+        want: Err(WireError::Truncated),
+    });
+    cases.push(Case {
+        desc: "empty buffer",
+        buf: Vec::new(),
+        pos: 0,
+        want: Err(WireError::Truncated),
+    });
+    cases.push(Case {
+        desc: "start offset past the buffer",
+        buf: vec![0],
+        pos: 7,
+        want: Err(WireError::Truncated),
+    });
+
+    cases
+}
+
+#[test]
+fn name_decode_edge_table() {
+    for case in cases() {
+        let got = Name::decode(&case.buf, case.pos);
+        assert_eq!(got, case.want, "case: {}", case.desc);
+    }
+}
+
+#[test]
+fn bounded_pointer_chasing_rejects_long_backward_chains() {
+    // 200 chained backward pointers: each one is legal in isolation
+    // (strictly backward), but the chain exceeds the hop budget, so the
+    // decoder must bail with BadPointer instead of walking it.
+    let mut buf = vec![1, b'x', 0]; // "x" at offset 0
+    let mut prev = 0u16;
+    let mut last = 0usize;
+    for _ in 0..200 {
+        last = buf.len();
+        buf.push(0xC0 | (prev >> 8) as u8);
+        buf.push((prev & 0xFF) as u8);
+        prev = last as u16;
+    }
+    assert_eq!(Name::decode(&buf, last).unwrap_err(), WireError::BadPointer);
+    // A short chain of the same shape decodes fine.
+    let mut ok = vec![1, b'x', 0];
+    ok.push(0xC0);
+    ok.push(0);
+    ok.push(0xC0);
+    ok.push(3);
+    assert_eq!(Name::decode(&ok, 5).unwrap(), (n("x"), 7));
+}

@@ -241,6 +241,69 @@ where
     Ok(out)
 }
 
+/// [`shard_map_supervised`] that additionally reports each shard's wall
+/// time (attempts included), in canonical shard order. The timings are
+/// side-band observability — bench harnesses use them to spot shards that
+/// straggle — and never feed back into any result, so determinism of the
+/// returned `Vec<R>` is untouched.
+pub fn shard_map_supervised_timed<T, R, F>(
+    items: &mut [T],
+    threads: usize,
+    retries: u32,
+    f: F,
+) -> Result<(Vec<R>, Vec<std::time::Duration>), ShardFailure>
+where
+    T: Send + Clone,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    let bounds = shard_bounds(items.len(), threads);
+    if bounds.len() <= 1 || threads <= 1 {
+        let mut out = Vec::with_capacity(bounds.len());
+        let mut walls = Vec::with_capacity(bounds.len());
+        let mut rest = items;
+        for (i, b) in bounds.iter().enumerate() {
+            let (shard, tail) = rest.split_at_mut(b.len());
+            rest = tail;
+            let started = std::time::Instant::now();
+            let r = supervise_shard(i, shard, retries, &f)?;
+            walls.push(started.elapsed());
+            out.push(r);
+        }
+        return Ok((out, walls));
+    }
+    let mut shards: Vec<&mut [T]> = Vec::with_capacity(bounds.len());
+    let mut rest = items;
+    for b in &bounds {
+        let (shard, tail) = rest.split_at_mut(b.len());
+        rest = tail;
+        shards.push(shard);
+    }
+    let f = &f;
+    let results: Vec<(Result<R, ShardFailure>, std::time::Duration)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .enumerate()
+                .map(|(i, shard)| {
+                    scope.spawn(move || {
+                        let started = std::time::Instant::now();
+                        let r = supervise_shard(i, shard, retries, f);
+                        (r, started.elapsed())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard supervisor panicked")).collect()
+        });
+    let mut out = Vec::with_capacity(results.len());
+    let mut walls = Vec::with_capacity(results.len());
+    for (r, wall) in results {
+        out.push(r?);
+        walls.push(wall);
+    }
+    Ok((out, walls))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,6 +430,25 @@ mod tests {
         assert!(err.message.contains("always fails"), "{}", err.message);
         // Display is human-readable for logs.
         assert!(err.to_string().contains("shard 1"));
+    }
+
+    #[test]
+    fn timed_supervision_matches_results_and_reports_one_wall_per_shard() {
+        for threads in [1usize, 4] {
+            let mut a: Vec<u32> = (0..57).collect();
+            let mut b = a.clone();
+            let plain = shard_map_supervised(&mut a, threads, DEFAULT_SHARD_RETRIES, |i, s| {
+                (i, s.iter().sum::<u32>())
+            })
+            .unwrap();
+            let (timed, walls) =
+                shard_map_supervised_timed(&mut b, threads, DEFAULT_SHARD_RETRIES, |i, s| {
+                    (i, s.iter().sum::<u32>())
+                })
+                .unwrap();
+            assert_eq!(plain, timed, "threads={threads}");
+            assert_eq!(walls.len(), timed.len(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -28,6 +28,8 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::net::Ipv4Addr;
+
 use mcdn_geo::time::{Duration, SimTime};
 
 pub mod coverage;
@@ -129,6 +131,31 @@ pub enum QueryFault {
     Timeout,
 }
 
+/// A Byzantine mutation applied to one upstream DNS answer.
+///
+/// Where [`QueryFault`] models *absent* answers, these model *wrong* ones:
+/// the shapes a resolver sees from spoofed, misconfigured, or outright
+/// hostile authoritative servers. Which mutation (if any) hits a given
+/// query is a pure function of `(profile, zone, query, attempt, time)` —
+/// see [`FaultProfile::answer_mutation`] — so adversarial campaigns stay
+/// bit-reproducible and journal-resumable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnswerMutation {
+    /// The answer carries an extra A record steering the queried name at
+    /// an attacker-controlled prefix (classic cache-poisoning payload).
+    SpoofA,
+    /// The answer carries an out-of-bailiwick NS record delegating the
+    /// zone to an attacker name server (Kaminsky-style delegation hijack).
+    InjectNs,
+    /// The answer arrives truncated/garbled beyond use: the resolver must
+    /// treat it as a malformed-response error, not ingest a partial RRset.
+    Truncate,
+    /// All TTLs in the answer are inflated by
+    /// [`FaultProfile::ttl_inflation_factor`], trying to pin stale or
+    /// poisoned data in caches far beyond its legitimate lifetime.
+    InflateTtl,
+}
+
 /// A deterministic bundle of measurement-plane fault rates.
 ///
 /// Every decision method is a pure function of the profile, its `seed`, and
@@ -210,6 +237,30 @@ pub struct FaultProfile {
     pub blackout_from: SimTime,
     /// End of the health-telemetry blackout window (exclusive).
     pub blackout_until: SimTime,
+    /// Probability that one upstream answer is mutated by an adversary
+    /// (0 disables answer mutations entirely; which kind fires is drawn
+    /// from the enabled `mutate_*` flags).
+    pub mutation_rate: f64,
+    /// Enables [`AnswerMutation::SpoofA`] draws.
+    pub mutate_spoof_a: bool,
+    /// Enables [`AnswerMutation::InjectNs`] draws.
+    pub mutate_inject_ns: bool,
+    /// Enables [`AnswerMutation::Truncate`] draws.
+    pub mutate_truncate: bool,
+    /// Enables [`AnswerMutation::InflateTtl`] draws.
+    pub mutate_inflate_ttl: bool,
+    /// First two octets of the attacker-controlled /16 that spoofed A
+    /// records point into (default 198.18 — the RFC 2544 benchmark range,
+    /// guaranteed disjoint from every modeled CDN prefix).
+    pub attacker_prefix: [u8; 2],
+    /// Multiplier applied to answer TTLs by [`AnswerMutation::InflateTtl`]
+    /// (saturating; 0 is treated as 1, i.e. no inflation).
+    pub ttl_inflation_factor: u32,
+    /// Whether resolvers should enforce bailiwick rules against mutated
+    /// answers. On (the default) models a hardened resolver; off models a
+    /// naive one, exposing the mis-mapping delta the poisoning sweep
+    /// measures.
+    pub enforce_bailiwick: bool,
 }
 
 impl FaultProfile {
@@ -241,6 +292,14 @@ impl FaultProfile {
             kill_until: SimTime(0),
             blackout_from: SimTime(0),
             blackout_until: SimTime(0),
+            mutation_rate: 0.0,
+            mutate_spoof_a: false,
+            mutate_inject_ns: false,
+            mutate_truncate: false,
+            mutate_inflate_ttl: false,
+            attacker_prefix: [198, 18],
+            ttl_inflation_factor: 0,
+            enforce_bailiwick: true,
         }
     }
 
@@ -282,6 +341,31 @@ impl FaultProfile {
             apple_degrade_per_load: 0.3,
             ..FaultProfile::none()
         }
+    }
+
+    /// An adversarial-answer profile: 15 % of upstream answers are mutated
+    /// with one of the four [`AnswerMutation`] kinds, TTLs inflate 10000×
+    /// when hit, and the attacker squats the 198.18.0.0/16 benchmark range.
+    /// Bailiwick enforcement stays on; flip it off with
+    /// [`FaultProfile::with_bailiwick_enforcement`] to measure what a naive
+    /// resolver would ingest.
+    pub const fn poisoning(seed: u64) -> FaultProfile {
+        FaultProfile {
+            seed,
+            mutation_rate: 0.15,
+            mutate_spoof_a: true,
+            mutate_inject_ns: true,
+            mutate_truncate: true,
+            mutate_inflate_ttl: true,
+            ttl_inflation_factor: 10_000,
+            ..FaultProfile::none()
+        }
+    }
+
+    /// Builder: turns resolver-side bailiwick enforcement on or off.
+    pub const fn with_bailiwick_enforcement(mut self, on: bool) -> FaultProfile {
+        self.enforce_bailiwick = on;
+        self
     }
 
     /// Builder: scripts a targeted control-plane kill of the entity hashed
@@ -342,6 +426,16 @@ impl FaultProfile {
         h.update(&self.kill_until.as_secs().to_le_bytes());
         h.update(&self.blackout_from.as_secs().to_le_bytes());
         h.update(&self.blackout_until.as_secs().to_le_bytes());
+        h.update(&self.mutation_rate.to_bits().to_le_bytes());
+        h.update(&[
+            self.mutate_spoof_a as u8,
+            self.mutate_inject_ns as u8,
+            self.mutate_truncate as u8,
+            self.mutate_inflate_ttl as u8,
+        ]);
+        h.update(&self.attacker_prefix);
+        h.update(&self.ttl_inflation_factor.to_le_bytes());
+        h.update(&[self.enforce_bailiwick as u8]);
         h.finish()
     }
 
@@ -355,7 +449,17 @@ impl FaultProfile {
             && (self.slow_timeout_ms <= 0.0 || self.latency_median_ms <= 0.0)
             && self.netflow_export_loss <= 0.0
             && self.snmp_gap <= 0.0
+            && !self.has_answer_mutations()
             && !self.has_infrastructure_faults()
+    }
+
+    /// True when any [`AnswerMutation`] kind can ever fire.
+    pub fn has_answer_mutations(&self) -> bool {
+        self.mutation_rate > 0.0
+            && (self.mutate_spoof_a
+                || self.mutate_inject_ns
+                || self.mutate_truncate
+                || self.mutate_inflate_ttl)
     }
 
     /// True when any *infrastructure* fault kind (site outage, brownout,
@@ -481,6 +585,61 @@ impl FaultProfile {
             }
         }
         None
+    }
+
+    /// The Byzantine mutation, if any, applied to one upstream answer.
+    ///
+    /// Keyed exactly like [`FaultProfile::upstream_fault`] — pure in
+    /// `(profile, zone_key, query_key, attempt, now)` — so mutated
+    /// campaigns replay bit-identically from a journal checkpoint. Which
+    /// kind fires is a second independent draw over the enabled
+    /// `mutate_*` flags, taken in declaration order.
+    pub fn answer_mutation(
+        &self,
+        zone_key: u64,
+        query_key: u64,
+        attempt: u32,
+        now: SimTime,
+    ) -> Option<AnswerMutation> {
+        if self.mutation_rate <= 0.0 {
+            return None;
+        }
+        let mut kinds = [AnswerMutation::SpoofA; 4];
+        let mut enabled = 0usize;
+        for (on, kind) in [
+            (self.mutate_spoof_a, AnswerMutation::SpoofA),
+            (self.mutate_inject_ns, AnswerMutation::InjectNs),
+            (self.mutate_truncate, AnswerMutation::Truncate),
+            (self.mutate_inflate_ttl, AnswerMutation::InflateTtl),
+        ] {
+            if on {
+                kinds[enabled] = kind;
+                enabled += 1;
+            }
+        }
+        if enabled == 0 {
+            return None;
+        }
+        let base = [self.seed, zone_key, query_key, now.0, attempt as u64];
+        let fire = hash_words(&[base[0], base[1], base[2], base[3], base[4], 0xbad0]);
+        if unit(fire) >= self.mutation_rate {
+            return None;
+        }
+        let pick = hash_words(&[base[0], base[1], base[2], base[3], base[4], 0xbad1]);
+        Some(kinds[(pick % enabled as u64) as usize])
+    }
+
+    /// The attacker-prefix address a [`AnswerMutation::SpoofA`] record for
+    /// this `(query, time)` points at: deterministic, always inside
+    /// `attacker_prefix.0.attacker_prefix.1/16`.
+    pub fn spoof_address(&self, query_key: u64, now: SimTime) -> Ipv4Addr {
+        let h = hash_words(&[self.seed, query_key, now.0, 0xbad2]);
+        Ipv4Addr::new(
+            self.attacker_prefix[0],
+            self.attacker_prefix[1],
+            (h >> 8) as u8,
+            h as u8,
+        )
     }
 
     /// A deterministic latency draw (milliseconds) for one upstream query,
@@ -654,7 +813,100 @@ mod tests {
             assert!(!p.target_killed(i, t));
             assert!(!p.health_blackout(t));
             assert_eq!(p.apple_load_factor(5.0), 1.0);
+            assert!(p.answer_mutation(i, i ^ 0xdef, (i % 5) as u32, t).is_none());
         }
+    }
+
+    #[test]
+    fn poisoning_preset_mutates_at_the_configured_rate() {
+        let p = FaultProfile::poisoning(17);
+        assert!(p.has_answer_mutations());
+        assert!(!p.is_quiet());
+        assert!(p.enforce_bailiwick, "hardened resolver is the default");
+        assert!(p.upstream_fault(1, 2, 0, SimTime(1_505_000_000), 1.0).is_none(),
+            "poisoning alone leaves the absent-answer plane clean");
+        let trials = 20_000u64;
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..trials {
+            if let Some(m) = p.answer_mutation(3, i, 0, SimTime(1_505_000_000)) {
+                *counts.entry(m).or_insert(0u64) += 1;
+            }
+        }
+        let hit: u64 = counts.values().sum();
+        let rate = hit as f64 / trials as f64;
+        assert!((0.13..0.17).contains(&rate), "observed mutation rate {rate}");
+        // All four kinds occur, roughly evenly.
+        for kind in [
+            AnswerMutation::SpoofA,
+            AnswerMutation::InjectNs,
+            AnswerMutation::Truncate,
+            AnswerMutation::InflateTtl,
+        ] {
+            let n = counts.get(&kind).copied().unwrap_or(0);
+            assert!(n as f64 > hit as f64 * 0.15, "kind {kind:?} underdrawn: {n}/{hit}");
+        }
+    }
+
+    #[test]
+    fn answer_mutations_are_reproducible_and_kind_gated() {
+        let a = FaultProfile::poisoning(5);
+        let b = FaultProfile::poisoning(5);
+        for i in 0..2_000u64 {
+            let t = SimTime(1_500_000_000 + i * 60);
+            assert_eq!(a.answer_mutation(i, i * 7, 1, t), b.answer_mutation(i, i * 7, 1, t));
+        }
+        // Disabling three kinds leaves only the fourth.
+        let only_spoof = FaultProfile {
+            mutate_inject_ns: false,
+            mutate_truncate: false,
+            mutate_inflate_ttl: false,
+            ..FaultProfile::poisoning(5)
+        };
+        let mut saw = 0;
+        for i in 0..5_000u64 {
+            if let Some(m) = only_spoof.answer_mutation(9, i, 0, SimTime(1_505_000_000)) {
+                assert_eq!(m, AnswerMutation::SpoofA);
+                saw += 1;
+            }
+        }
+        assert!(saw > 0, "sole enabled kind must still fire");
+        // Rate with no kinds enabled is inert even at rate 1.0.
+        let hollow = FaultProfile { mutation_rate: 1.0, ..FaultProfile::none() };
+        assert!(!hollow.has_answer_mutations());
+        assert!(hollow.answer_mutation(1, 2, 0, SimTime(0)).is_none());
+    }
+
+    #[test]
+    fn spoof_addresses_stay_inside_the_attacker_prefix() {
+        let p = FaultProfile::poisoning(11);
+        let mut distinct = std::collections::HashSet::new();
+        for i in 0..1_000u64 {
+            let addr = p.spoof_address(i, SimTime(1_505_000_000));
+            assert_eq!(addr.octets()[0], 198);
+            assert_eq!(addr.octets()[1], 18);
+            distinct.insert(addr);
+        }
+        assert!(distinct.len() > 100, "spoofed hosts must spread over the /16");
+        assert_eq!(
+            p.spoof_address(7, SimTime(42)),
+            p.spoof_address(7, SimTime(42)),
+            "pure function of (profile, query, time)"
+        );
+    }
+
+    #[test]
+    fn mutation_knobs_participate_in_the_digest() {
+        let base = FaultProfile::none();
+        assert_ne!(base.digest(), FaultProfile::poisoning(0).digest());
+        assert_ne!(
+            FaultProfile::poisoning(1).digest(),
+            FaultProfile::poisoning(1).with_bailiwick_enforcement(false).digest(),
+            "enforcement flag is part of the fault-model cursor"
+        );
+        assert_ne!(
+            FaultProfile::poisoning(1).digest(),
+            FaultProfile { ttl_inflation_factor: 9_999, ..FaultProfile::poisoning(1) }.digest()
+        );
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Fixed-seed fuzz smoke run for CI.
+//!
+//! Decodes ≥10k seeded mutated messages plus the committed corpus, and
+//! exits nonzero on any panic, round-trip violation, or missing corpus.
+//!
+//! Usage: `fuzz_smoke [CORPUS_DIR] [ITERATIONS]` (defaults: `tests/corpus`,
+//! 12000). The run is a pure function of the built-in seed, so two
+//! invocations print byte-identical summaries.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use mcdn_fuzzwire::{check_seed_roundtrips, replay_corpus, run_fuzz};
+
+/// Fixed seed: changing it changes the exercised corpus, so it is part of
+/// the determinism contract ci.sh relies on.
+const SEED: u64 = 0x5EED_D15E_C7ED_0007;
+const DEFAULT_ITERATIONS: u64 = 12_000;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let corpus_dir = args.first().map(String::as_str).unwrap_or("tests/corpus");
+    let iterations: u64 = match args.get(1).map(|s| s.parse()) {
+        None => DEFAULT_ITERATIONS,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("fuzz_smoke: ITERATIONS must be an integer");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+
+    if let Err(e) = check_seed_roundtrips() {
+        eprintln!("fuzz_smoke: seed round-trip FAILED: {e}");
+        failed = true;
+    }
+
+    let report = run_fuzz(SEED, iterations);
+    println!(
+        "fuzzwire: seed={SEED:#018x} iterations={} decoded_ok={} decode_errors={} panics={} roundtrip_failures={}",
+        report.iterations,
+        report.decoded_ok,
+        report.decode_errors,
+        report.panics,
+        report.roundtrip_failures,
+    );
+    if !report.clean() {
+        eprintln!("fuzz_smoke: mutation run FAILED: {report:?}");
+        failed = true;
+    }
+
+    match replay_corpus(Path::new(corpus_dir)) {
+        Ok(corpus) => {
+            println!(
+                "fuzzwire: corpus files={} decoded_ok={} decode_errors={} panics={} roundtrip_failures={}",
+                corpus.iterations,
+                corpus.decoded_ok,
+                corpus.decode_errors,
+                corpus.panics,
+                corpus.roundtrip_failures,
+            );
+            if !corpus.clean() {
+                eprintln!("fuzz_smoke: corpus replay FAILED: {corpus:?}");
+                failed = true;
+            }
+        }
+        Err(e) => {
+            eprintln!("fuzz_smoke: corpus replay FAILED: {e}");
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("fuzzwire: zero panics across all mutated messages");
+        ExitCode::SUCCESS
+    }
+}

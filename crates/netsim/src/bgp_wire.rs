@@ -283,7 +283,6 @@ mod tests {
             announced: vec![net("68.232.0.0/16"), net("69.28.64.0/22")],
         };
         let bytes = u.encode().unwrap();
-        assert_eq!(bytes.len() % 1, 0);
         let back = Update::decode(&bytes).unwrap();
         assert_eq!(back, u);
         assert_eq!(back.origin(), Some(AsId(22822)));

@@ -274,6 +274,13 @@ impl Checkpoint {
                             w.put_u8(2);
                             w.put_u16(v);
                         }
+                        IRData::Ns(target) => {
+                            if target.index() >= table_len {
+                                return Err(CampaignError::UncheckpointableCache);
+                            }
+                            w.put_u8(3);
+                            w.put_u32(target.0);
+                        }
                     }
                 }
             }
@@ -353,6 +360,13 @@ impl Checkpoint {
                             IRData::Cname(NameId(target))
                         }
                         2 => IRData::Opaque(r.u16()?),
+                        3 => {
+                            let target = r.u32()?;
+                            if target as usize >= table_len {
+                                return Err(CodecError::Invalid("ns target id"));
+                            }
+                            IRData::Ns(NameId(target))
+                        }
                         _ => return Err(CodecError::Invalid("rdata tag")),
                     };
                     records.push(IRecord { name: NameId(name), ttl, rdata });

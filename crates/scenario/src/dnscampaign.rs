@@ -19,11 +19,12 @@ use crate::world::World;
 use core::fmt::Write as _;
 use mcdn_atlas::{build_fleet, Availability, UniqueIpAggregator};
 use mcdn_dnssim::{
-    CompiledNamespace, FaultModel, IRoundMemo, InternedFaultModel, MemoKey, QueryContext,
-    ResolveScratch, UpstreamFault,
+    attacker_ns, attacker_owner, AnswerTamper, BailiwickPolicy, CompiledNamespace, FaultModel,
+    IRoundMemo, ITamper, InternedFaultModel, InternedMutationModel, MemoKey, MutationModel,
+    QueryContext, ResolveScratch, UpstreamFault,
 };
 use mcdn_dnswire::{Name, RecordType};
-use mcdn_faults::{FaultProfile, Fnv64, QueryFault, RetryPolicy};
+use mcdn_faults::{AnswerMutation, FaultProfile, Fnv64, QueryFault, RetryPolicy};
 use mcdn_geo::{Continent, Duration, Region, SimTime};
 use mcdn_intern::{NameId, NameTable};
 use metacdn::CdnKind;
@@ -301,6 +302,142 @@ impl InternedFaultModel for InternedCampaignFaults<'_> {
     }
 }
 
+/// TTL carried by every forged record (the spoofed A and the injected
+/// out-of-bailiwick NS). Deliberately longer than the short-TTL tail of
+/// the legitimate chain: if a cache ever accepted a forgery it would
+/// outlive the real answer, which is exactly the condition the poisoning
+/// sweep audits for.
+pub const POISON_TTL: u32 = 600;
+
+/// The bailiwick policy a fault profile asks the resolvers to run under.
+pub fn bailiwick_policy(profile: &FaultProfile) -> BailiwickPolicy {
+    if profile.enforce_bailiwick {
+        BailiwickPolicy::Enforce
+    } else {
+        BailiwickPolicy::Accept
+    }
+}
+
+/// Adapts the scenario's [`FaultProfile`] to the resolver's answer-
+/// mutation hook — the Byzantine upstream that forges records instead of
+/// merely dropping queries. Decisions are keyed off the same stateless
+/// digests as [`CampaignFaults`] (zone display-FNV; query display-FNV
+/// folded with the client address), so the interned twin reproduces them
+/// bit for bit.
+pub struct CampaignMutations {
+    profile: FaultProfile,
+}
+
+impl CampaignMutations {
+    /// A mutation adapter drawing decisions from `profile`.
+    pub fn new(profile: FaultProfile) -> CampaignMutations {
+        CampaignMutations { profile }
+    }
+}
+
+impl MutationModel for CampaignMutations {
+    fn answer_mutation(
+        &self,
+        zone: &Name,
+        qname: &Name,
+        ctx: &QueryContext,
+        attempt: u32,
+    ) -> Option<AnswerTamper> {
+        if !self.profile.has_answer_mutations() {
+            return None;
+        }
+        let mut zh = Fnv64::new();
+        let _ = write!(zh, "{zone}");
+        let zone_key = zh.finish();
+        let mut qh = Fnv64::new();
+        let _ = write!(qh, "{qname}");
+        qh.update(&ctx.client_ip.octets());
+        let query_key = qh.finish();
+        match self.profile.answer_mutation(zone_key, query_key, attempt, ctx.now)? {
+            AnswerMutation::SpoofA => Some(AnswerTamper::SpoofA {
+                owner: attacker_owner(),
+                addr: self.profile.spoof_address(query_key, ctx.now),
+                ttl: POISON_TTL,
+            }),
+            AnswerMutation::InjectNs => Some(AnswerTamper::InjectNs {
+                owner: attacker_owner(),
+                target: attacker_ns(),
+                ttl: POISON_TTL,
+            }),
+            AnswerMutation::Truncate => Some(AnswerTamper::Truncate),
+            AnswerMutation::InflateTtl => {
+                Some(AnswerTamper::InflateTtl { factor: self.profile.ttl_inflation_factor })
+            }
+        }
+    }
+}
+
+/// [`CampaignMutations`] for the interned hot path: the attacker names
+/// are resolved to [`NameId`]s once (the campaign interns them via
+/// [`CompiledNamespace::compile_with_extra`]) and the keys come from the
+/// resolver-supplied display-FNV digests, so a mutation decision
+/// allocates nothing while producing bit-identical forgeries to the
+/// string adapter.
+pub struct InternedCampaignMutations {
+    profile: FaultProfile,
+    attacker_owner: NameId,
+    attacker_ns: NameId,
+}
+
+impl InternedCampaignMutations {
+    /// Builds the adapter against a table that already interns the
+    /// attacker names.
+    ///
+    /// # Panics
+    ///
+    /// If the table was compiled without them (use
+    /// [`CompiledNamespace::compile_with_extra`]).
+    pub fn new(profile: FaultProfile, table: &NameTable) -> InternedCampaignMutations {
+        let owner = table
+            .get(&attacker_owner())
+            .expect("attacker owner must be interned (compile_with_extra)");
+        let ns = table
+            .get(&attacker_ns())
+            .expect("attacker NS must be interned (compile_with_extra)");
+        InternedCampaignMutations { profile, attacker_owner: owner, attacker_ns: ns }
+    }
+}
+
+impl InternedMutationModel for InternedCampaignMutations {
+    fn answer_mutation(
+        &self,
+        _zone: NameId,
+        zone_fnv: u64,
+        _qname: NameId,
+        qname_fnv: u64,
+        ctx: &QueryContext,
+        attempt: u32,
+    ) -> Option<ITamper> {
+        if !self.profile.has_answer_mutations() {
+            return None;
+        }
+        let mut qh = Fnv64::with_state(qname_fnv);
+        qh.update(&ctx.client_ip.octets());
+        let query_key = qh.finish();
+        match self.profile.answer_mutation(zone_fnv, query_key, attempt, ctx.now)? {
+            AnswerMutation::SpoofA => Some(ITamper::SpoofA {
+                owner: self.attacker_owner,
+                addr: self.profile.spoof_address(query_key, ctx.now),
+                ttl: POISON_TTL,
+            }),
+            AnswerMutation::InjectNs => Some(ITamper::InjectNs {
+                owner: self.attacker_owner,
+                target: self.attacker_ns,
+                ttl: POISON_TTL,
+            }),
+            AnswerMutation::Truncate => Some(ITamper::Truncate),
+            AnswerMutation::InflateTtl => {
+                Some(ITamper::InflateTtl { factor: self.profile.ttl_inflation_factor })
+            }
+        }
+    }
+}
+
 /// One shard's contribution to a campaign round. Partials are merged in
 /// canonical shard order; every field is either order-independent by
 /// construction (set unions, max-ledgers, sums) or canonicalized at merge
@@ -416,6 +553,7 @@ fn drive_campaign(
     journal_path: Option<&Path>,
     checkpoint_every: u64,
     stop_after: Option<u64>,
+    mut walls: Option<&mut Vec<std::time::Duration>>,
 ) -> Result<CampaignRun, CampaignError> {
     let world = p.world;
     let mut fleet = build_fleet(p.specs.to_vec());
@@ -432,10 +570,15 @@ fn drive_campaign(
     // read-only (per-round variability flows through the mapping
     // snapshot, not the zones), the RIB into a flat LPM table, the name
     // table into attribution flags and fault load classes.
-    let cns = CompiledNamespace::compile(&world.ns);
+    // The attacker names ride along in the compiled table so the
+    // adversarial layer can forge records without touching the per-shard
+    // overlays (identical NameIds in every shard, zero allocations).
+    let cns = CompiledNamespace::compile_with_extra(&world.ns, &[attacker_owner(), attacker_ns()]);
     let attr = AttributionTable::build(cns.table());
     let rib = world.topo.compiled_rib();
     let faults = InternedCampaignFaults::new(p.profile, world, cns.table());
+    let mutations = InternedCampaignMutations::new(p.profile, cns.table());
+    let bailiwick = bailiwick_policy(&p.profile);
     let table_len = cns.table().len();
     // The controller evolves in real time regardless of how often probes
     // measure: walk it on a fine grid between measurement rounds so load
@@ -520,7 +663,7 @@ fn drive_campaign(
         // live state's lock, and a probe's answer cannot depend on which
         // shard ran first.
         let snap = Arc::new(world.state.capture());
-        let partials = mcdn_exec::shard_map_supervised(
+        let (partials, shard_walls) = mcdn_exec::shard_map_supervised_timed(
             &mut fleet,
             p.threads,
             mcdn_exec::DEFAULT_SHARD_RETRIES,
@@ -546,13 +689,15 @@ fn drive_campaign(
                     if !p.availability.is_online(probe.id, t) {
                         continue; // probe offline this epoch
                     }
-                    let (result, outcome_attempts) = probe.measure_interned(
+                    let (result, outcome_attempts) = probe.measure_interned_adversarial(
                         &cns,
                         &mut scratch,
                         entry_id,
                         RecordType::A,
                         t,
                         &faults,
+                        &mutations,
+                        bailiwick,
                         &p.retry,
                         &mut memo,
                     );
@@ -579,6 +724,11 @@ fn drive_campaign(
                 partial
             },
         )?;
+        if let Some(w) = walls.as_deref_mut() {
+            // Side-band telemetry only: the walls never feed back into the
+            // merged result, so timed and untimed runs stay bit-identical.
+            w.extend(shard_walls);
+        }
         // Canonical merge, in shard order. Memo counts are summed per key
         // across shards first: `lookups` is the total demand for memoizable
         // answers and `hits` what a single-shard memo would have served —
@@ -664,11 +814,24 @@ fn drive_campaign(
 /// still panic-isolated and retried, but a shard that defeats its whole
 /// retry budget aborts the process here.
 fn run_to_completion(p: &CampaignParams<'_>) -> DnsCampaignResult {
-    match drive_campaign(p, None, 1, None) {
+    match drive_campaign(p, None, 1, None, None) {
         Ok(CampaignRun::Complete(result)) => result,
         Ok(CampaignRun::Suspended { .. }) => unreachable!("no stop_after was requested"),
         Err(e) => panic!("campaign failed: {e}"),
     }
+}
+
+/// [`run_to_completion`] that also collects the wall-clock time of every
+/// supervised shard execution, in canonical (round-major, shard-minor)
+/// order.
+fn run_to_completion_timed(p: &CampaignParams<'_>) -> (DnsCampaignResult, Vec<std::time::Duration>) {
+    let mut walls = Vec::new();
+    let result = match drive_campaign(p, None, 1, None, Some(&mut walls)) {
+        Ok(CampaignRun::Complete(result)) => result,
+        Ok(CampaignRun::Suspended { .. }) => unreachable!("no stop_after was requested"),
+        Err(e) => panic!("campaign failed: {e}"),
+    };
+    (result, walls)
 }
 
 /// The pre-interning string-path engine, kept verbatim as the test
@@ -712,6 +875,8 @@ fn run_campaign_reference(
         let partials = mcdn_exec::shard_map(&mut fleet, threads, |_shard_idx, shard| {
             let _guard = metacdn::install_snapshot(Arc::clone(&snap));
             let faults = CampaignFaults::new(profile, world);
+            let mutations = CampaignMutations::new(profile);
+            let bailiwick = bailiwick_policy(&profile);
             let mut memo = RoundMemo::new();
             let mut partial = ShardPartial {
                 agg: UniqueIpAggregator::new(bin),
@@ -725,14 +890,16 @@ fn run_campaign_reference(
                 if !availability.is_online(probe.id, t) {
                     continue;
                 }
-                let outcome = probe.measure_memoized(
+                let outcome = probe.measure_adversarial(
                     &world.ns,
                     &entry,
                     RecordType::A,
                     t,
                     &faults,
+                    &mutations,
+                    bailiwick,
                     &retry,
-                    &mut memo,
+                    Some(&mut memo),
                 );
                 partial.attempts += outcome.attempts as u64;
                 if matches!(&outcome.result, Err(e) if e.is_transient()) {
@@ -791,6 +958,29 @@ pub fn run_global_dns_threads(
     threads: usize,
 ) -> DnsCampaignResult {
     run_to_completion(&global_params(world, cfg, threads))
+}
+
+/// [`run_global_dns_threads`] that additionally reports the wall-clock
+/// time of every supervised shard execution, round-major in canonical
+/// shard order — the load-balance telemetry the campaign benchmark
+/// records. Timing is side-band only: the campaign result is
+/// bit-identical to the untimed entry point's.
+pub fn run_global_dns_threads_timed(
+    world: &World,
+    cfg: &ScenarioConfig,
+    threads: usize,
+) -> (DnsCampaignResult, Vec<std::time::Duration>) {
+    run_to_completion_timed(&global_params(world, cfg, threads))
+}
+
+/// [`run_isp_dns_threads`] with per-shard wall times; see
+/// [`run_global_dns_threads_timed`].
+pub fn run_isp_dns_threads_timed(
+    world: &World,
+    cfg: &ScenarioConfig,
+    threads: usize,
+) -> (DnsCampaignResult, Vec<std::time::Duration>) {
+    run_to_completion_timed(&isp_params(world, cfg, threads))
 }
 
 /// The in-ISP campaign (Figure 5): probes inside the Eyeball ISP resolving
@@ -879,7 +1069,7 @@ pub fn run_global_dns_resumable_with(
     opts: ResumeOptions,
 ) -> Result<CampaignRun, CampaignError> {
     let p = global_params(world, cfg, resolve_threads(opts.threads));
-    drive_campaign(&p, Some(journal), opts.checkpoint_every, opts.stop_after_rounds)
+    drive_campaign(&p, Some(journal), opts.checkpoint_every, opts.stop_after_rounds, None)
 }
 
 /// Crash-safe [`run_isp_dns`]; see [`run_global_dns_resumable`].
@@ -902,7 +1092,7 @@ pub fn run_isp_dns_resumable_with(
     opts: ResumeOptions,
 ) -> Result<CampaignRun, CampaignError> {
     let p = isp_params(world, cfg, resolve_threads(opts.threads));
-    drive_campaign(&p, Some(journal), opts.checkpoint_every, opts.stop_after_rounds)
+    drive_campaign(&p, Some(journal), opts.checkpoint_every, opts.stop_after_rounds, None)
 }
 
 #[cfg(test)]
@@ -918,6 +1108,11 @@ mod tests {
         let profiles = [
             ("none", mcdn_faults::FaultProfile::none()),
             ("total-dark", crate::chaos::total_dark_scenario(41).faults),
+            ("poisoning-enforced", mcdn_faults::FaultProfile::poisoning(43)),
+            (
+                "poisoning-open",
+                mcdn_faults::FaultProfile::poisoning(43).with_bailiwick_enforcement(false),
+            ),
         ];
         for (label, faults) in profiles {
             let mut cfg = ScenarioConfig::fast();

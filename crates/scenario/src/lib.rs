@@ -20,6 +20,9 @@
 //! * [`chaos`] — the infrastructure chaos-sweep harness: seeded CDN/NS
 //!   failure scenarios driven against the health-checked failover of the
 //!   mapping state, with per-tick invariant audits.
+//! * [`poisoning`] — the poisoning-resistance sweep: a Byzantine upstream
+//!   forging answers against bailiwick-enforcing resolvers, with routing,
+//!   cache, and wire-level audits per tick.
 //! * [`traffic`] — the ISP border telemetry simulation: flows over BGP
 //!   paths onto capacity-limited peering links, NetFlow sampling, SNMP.
 //! * [`timeline()`] — the Figure 1 measurement calendar.
@@ -39,6 +42,7 @@ pub mod config;
 pub mod dnscampaign;
 pub mod loads;
 pub mod params;
+pub mod poisoning;
 pub mod sites;
 pub mod timeline;
 pub mod tracecampaign;
@@ -54,9 +58,15 @@ pub use checkpoint::{CampaignError, CampaignRun, ResumeOptions};
 pub use classes::CdnClass;
 pub use config::{LinkSelection, ScenarioConfig};
 pub use dnscampaign::{
-    run_global_dns, run_global_dns_resumable, run_global_dns_resumable_with, run_global_dns_threads,
-    run_isp_dns, run_isp_dns_resumable, run_isp_dns_resumable_with, run_isp_dns_threads,
-    CampaignFaults, DnsCampaignResult, InternedCampaignFaults, IpClassLedger,
+    bailiwick_policy, run_global_dns, run_global_dns_resumable, run_global_dns_resumable_with,
+    run_global_dns_threads, run_global_dns_threads_timed, run_isp_dns, run_isp_dns_resumable,
+    run_isp_dns_resumable_with, run_isp_dns_threads, run_isp_dns_threads_timed, CampaignFaults,
+    CampaignMutations, DnsCampaignResult, InternedCampaignFaults, InternedCampaignMutations,
+    IpClassLedger, POISON_TTL,
+};
+pub use poisoning::{
+    check_poison_invariants, poison_grid, run_poison, run_poison_sweep, PoisonRunResult,
+    PoisonScenario, PoisonViolation,
 };
 pub use timeline::{timeline, TimelineEntry};
 pub use tracecampaign::{run_traceroutes, TracerouteCampaignResult};

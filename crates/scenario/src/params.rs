@@ -187,6 +187,19 @@ pub const PREFILL_FRACTION: f64 = 0.12;
 /// Pre-fill window length in hours from the release instant.
 pub const PREFILL_HOURS: u64 = 6;
 
+/// The pre-June-2017 weight schedule with Level3 as a third offload CDN
+/// (§3.2: "Level3 was removed from the request mapping in late June 2017").
+/// Used only when [`crate::ScenarioConfig::enable_level3`] is set.
+pub fn weight_schedule_with_level3() -> Schedule {
+    let default_eu = CdnShare { apple: 0.50, akamai: 0.20, limelight: 0.20, level3: 0.10 };
+    let us_share = CdnShare { apple: 0.62, akamai: 0.16, limelight: 0.14, level3: 0.08 };
+    let apac_share = CdnShare { apple: 0.60, akamai: 0.20, limelight: 0.20, level3: 0.0 };
+    let mut s = Schedule::constant(default_eu);
+    s.set_from(Region::Us, SimTime(0), us_share);
+    s.set_from(Region::Apac, SimTime(0), apac_share);
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,17 +242,4 @@ mod tests {
         assert!(baseline_peak_bps(Akamai) > 5.0 * baseline_peak_bps(Apple));
         assert!(baseline_peak_bps(Apple) > baseline_peak_bps(Limelight));
     }
-}
-
-/// The pre-June-2017 weight schedule with Level3 as a third offload CDN
-/// (§3.2: "Level3 was removed from the request mapping in late June 2017").
-/// Used only when [`crate::ScenarioConfig::enable_level3`] is set.
-pub fn weight_schedule_with_level3() -> Schedule {
-    let default_eu = CdnShare { apple: 0.50, akamai: 0.20, limelight: 0.20, level3: 0.10 };
-    let us_share = CdnShare { apple: 0.62, akamai: 0.16, limelight: 0.14, level3: 0.08 };
-    let apac_share = CdnShare { apple: 0.60, akamai: 0.20, limelight: 0.20, level3: 0.0 };
-    let mut s = Schedule::constant(default_eu);
-    s.set_from(Region::Us, SimTime(0), us_share);
-    s.set_from(Region::Apac, SimTime(0), apac_share);
-    s
 }

@@ -20,6 +20,9 @@ fn main() -> ExitCode {
     // A window bracketing the release: quiet lead-in, flash crowd, decay.
     cfg.traffic_start = params::release() - Duration::hours(12);
     cfg.traffic_end = params::release() + Duration::hours(36);
+    // Validate the configuration through the front door: a bad config
+    // exits politely here instead of panicking inside the sweep.
+    let _ = metacdn_suite::build_world_or_exit(&cfg);
     let grid = standard_grid(cfg.seed);
 
     println!("chaos sweep: {} scenarios over {:?} ticks", grid.len(), cfg.traffic_tick);

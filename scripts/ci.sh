@@ -33,6 +33,24 @@ diff -u "$tmpdir/chaos1.txt" "$tmpdir/chaos2.txt"
 grep -q "all invariants held across the grid" "$tmpdir/chaos1.txt"
 echo "    identical ($(wc -l < "$tmpdir/chaos1.txt") lines)"
 
+echo "==> poison sweep: Byzantine answers held at the bailiwick, replayed bit-identically"
+cargo run --release -q --example poison_sweep > "$tmpdir/poison1.txt"
+cargo run --release -q --example poison_sweep > "$tmpdir/poison2.txt"
+diff -u "$tmpdir/poison1.txt" "$tmpdir/poison2.txt"
+grep -q "all invariants held across the grid" "$tmpdir/poison1.txt"
+echo "    identical ($(wc -l < "$tmpdir/poison1.txt") lines)"
+
+echo "==> fuzz smoke: fixed-seed wire fuzzing plus corpus replay, zero panics"
+cargo run --release -q -p mcdn-fuzzwire --bin fuzz_smoke > "$tmpdir/fuzz1.txt"
+cargo run --release -q -p mcdn-fuzzwire --bin fuzz_smoke > "$tmpdir/fuzz2.txt"
+diff -u "$tmpdir/fuzz1.txt" "$tmpdir/fuzz2.txt"
+grep -q "zero panics across all mutated messages" "$tmpdir/fuzz1.txt"
+grep -q "panics=0" "$tmpdir/fuzz1.txt"
+echo "    $(grep -m1 'iterations=' "$tmpdir/fuzz1.txt" | sed 's/fuzzwire: //')"
+
+echo "==> adversarial bit-identity: resume + enforcement under every mutation profile"
+cargo test --release -q --test adversarial
+
 echo "==> parallel determinism: MCDN_THREADS=1 vs MCDN_THREADS=4"
 MCDN_THREADS=1 cargo run --release -q -p mcdn-analysis --bin mcdn -- campaign global > "$tmpdir/t1.txt"
 MCDN_THREADS=4 cargo run --release -q -p mcdn-analysis --bin mcdn -- campaign global > "$tmpdir/t4.txt"
@@ -58,12 +76,12 @@ echo "    resumed output identical to uninterrupted run"
 
 echo "==> bench smoke: BENCH_campaigns.json schema"
 scripts/bench.sh --smoke "$tmpdir/BENCH_campaigns.json" > /dev/null
-grep -q '"schema": "mcdn-bench-campaigns-v3"' "$tmpdir/BENCH_campaigns.json"
+grep -q '"schema": "mcdn-bench-campaigns-v4"' "$tmpdir/BENCH_campaigns.json"
 grep -q '"identical_across_threads": true' "$tmpdir/BENCH_campaigns.json"
 if grep -q '"identical_across_threads": false' "$tmpdir/BENCH_campaigns.json"; then
   echo "    FAIL: some campaign diverged across thread counts"; exit 1
 fi
-for field in thread_counts memo_hit_rate wall_ms speedup_vs_serial checkpoint_overhead_pct; do
+for field in thread_counts memo_hit_rate wall_ms shard_wall_ms speedup_vs_serial checkpoint_overhead_pct; do
   grep -q "\"$field\"" "$tmpdir/BENCH_campaigns.json" || {
     echo "    FAIL: missing field $field"; exit 1; }
 done

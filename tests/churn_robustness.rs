@@ -20,7 +20,7 @@ fn eu_spike_survives_probe_churn() {
 
     // Fewer resolutions than a perfect fleet would make…
     let perfect_rounds =
-        (cfg.global_end.since(cfg.global_start).as_secs() / cfg.global_dns_interval.as_secs()) as u64;
+        cfg.global_end.since(cfg.global_start).as_secs() / cfg.global_dns_interval.as_secs();
     let max_resolutions = perfect_rounds * cfg.global_probes as u64;
     assert!(result.resolutions < max_resolutions * 95 / 100, "churn must bite");
     assert!(result.resolutions > max_resolutions * 75 / 100, "but not devastate");

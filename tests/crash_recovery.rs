@@ -195,7 +195,7 @@ fn stale_fingerprint_is_a_typed_error_not_a_panic() {
     run_partial(&cfg, &path, 1, 2);
 
     // Same journal, different campaign config (seed moved): refused.
-    let mut other = cfg.clone();
+    let mut other = cfg;
     other.seed ^= 0x5EED;
     let world = build_world_or_exit(&other);
     match run_global_dns_resumable(&world, &other, &path) {

@@ -33,7 +33,7 @@ fn zero_fault_profile_changes_nothing() {
     quiet.faults = FaultProfile::none();
     quiet.retry = RetryPolicy::standard();
 
-    let mut bare = quiet.clone();
+    let mut bare = quiet;
     bare.retry = RetryPolicy::none();
 
     let world = World::build(&quiet);

@@ -77,7 +77,7 @@ proptest! {
         // Appending zero-traffic samples can only lower (or keep) the bill.
         let billed = percentile_95_5(&samples);
         let mut padded = samples.clone();
-        padded.extend(std::iter::repeat(0).take(samples.len()));
+        padded.extend(std::iter::repeat_n(0, samples.len()));
         let padded_billed = percentile_95_5(&padded);
         prop_assert!(padded_billed <= billed + 1e-9);
     }
