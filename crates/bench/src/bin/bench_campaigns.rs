@@ -16,8 +16,8 @@ use mcdn_geo::{Duration, SimTime};
 use mcdn_scenario::classes::{attribute_interned, classify_ip_from_origin, AttributionTable};
 use mcdn_scenario::{
     params, run_global_dns_resumable_with, run_global_dns_threads, run_global_dns_threads_timed,
-    run_isp_dns_threads_timed, run_isp_traffic_threads, CampaignRun, ResumeOptions, ScenarioConfig,
-    World,
+    run_isp_dns_threads_timed, run_isp_traffic_threads_timed, CampaignRun, ResumeOptions,
+    ScenarioConfig, World, TRAFFIC_BATCH_TICKS,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -27,14 +27,98 @@ use std::time::Instant;
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc::new();
 
-/// Wall time and throughput of one run at one worker count, plus the
-/// wall time of every supervised shard (round-major, canonical shard
-/// order) — the load-balance telemetry behind a disappointing speedup.
+/// Distribution summary of the per-shard wall times of one run — what
+/// schema v5 reports instead of the raw arrays (hundreds of floats of
+/// scheduler noise that drowned the signal: where the shard-granularity
+/// time actually goes).
+struct WallSummary {
+    count: usize,
+    p50_ms: f64,
+    p90_ms: f64,
+    max_ms: f64,
+}
+
+impl WallSummary {
+    /// Nearest-rank percentiles over `walls` (milliseconds).
+    fn of(walls: &[std::time::Duration]) -> WallSummary {
+        let mut ms: Vec<f64> = walls.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+        ms.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+        let at = |pct: usize| {
+            if ms.is_empty() {
+                0.0
+            } else {
+                ms[(ms.len() - 1) * pct / 100]
+            }
+        };
+        WallSummary {
+            count: ms.len(),
+            p50_ms: at(50),
+            p90_ms: at(90),
+            max_ms: ms.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Wall time and throughput of one benched (campaign, worker count)
+/// cell: best-of-[`REPS`] wall clock, the shard-wall summary of the best
+/// repetition, and the estimated pool-dispatch overhead the run paid.
 struct Run {
     threads: usize,
     wall_ms: f64,
     per_sec: f64,
-    shard_wall_ms: Vec<f64>,
+    walls: WallSummary,
+    dispatch_overhead_ms: f64,
+}
+
+/// Repetitions per (campaign, worker count) cell; the best wall clock is
+/// reported. Three is enough to shed one bad scheduler window without
+/// tripling a CI run that executes every cell's output-identity check
+/// anyway.
+const REPS: usize = 3;
+
+/// Per-dispatch cost of waking the pool at `threads` width: the measured
+/// wall clock of a no-op `shard_map` over one item per shard, on a warm
+/// pool. Multiplied by a run's dispatch count this estimates how much of
+/// its wall went to orchestration rather than work — the quantity the
+/// persistent pool exists to shrink.
+fn dispatch_cost_ms(threads: usize) -> f64 {
+    if threads <= 1 {
+        return 0.0; // inline path: no handshake at all
+    }
+    mcdn_exec::warm(threads);
+    let mut items = vec![0u8; threads];
+    for _ in 0..64 {
+        std::hint::black_box(mcdn_exec::shard_map(&mut items, threads, |_, _| ()));
+    }
+    let reps = 512u32;
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(mcdn_exec::shard_map(&mut items, threads, |_, _| ()));
+    }
+    start.elapsed().as_secs_f64() * 1e3 / f64::from(reps)
+}
+
+/// The same no-op dispatch measured through the retired spawn-per-round
+/// engine (`mcdn_exec::reference`), kept in-tree as a differential
+/// oracle. The pool-vs-scoped ratio is the one engine property a
+/// single-core host can still measure without scheduler noise drowning
+/// it (spawn costs tens of microseconds per worker; a warm-pool wake is
+/// single-digit), so the degraded gate leans on it where raw speedup
+/// cannot discriminate.
+fn scoped_dispatch_cost_ms(threads: usize) -> f64 {
+    if threads <= 1 {
+        return 0.0;
+    }
+    let mut items = vec![0u8; threads];
+    for _ in 0..16 {
+        std::hint::black_box(mcdn_exec::reference::shard_map_scoped(&mut items, threads, |_, _| ()));
+    }
+    let reps = 128u32;
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(mcdn_exec::reference::shard_map_scoped(&mut items, threads, |_, _| ()));
+    }
+    start.elapsed().as_secs_f64() * 1e3 / f64::from(reps)
 }
 
 /// One benched campaign: canonical counters plus per-thread-count runs.
@@ -72,8 +156,9 @@ fn thread_counts() -> Vec<usize> {
     counts
 }
 
-/// Times `run` at each worker count against a fresh world, returning the
-/// per-count wall clocks and whether every output matched the serial one.
+/// Times `run` at each worker count against a fresh world (best of
+/// [`REPS`] repetitions per count), returning the per-count runs and
+/// whether every output — of every repetition — matched the serial one.
 fn bench_campaign<R, F>(
     cfg: &ScenarioConfig,
     counts: &[usize],
@@ -86,21 +171,34 @@ where
     let mut runs = Vec::new();
     let mut outputs: Vec<R> = Vec::new();
     for &threads in counts {
-        // A fresh world per run: campaigns advance the controller's load
-        // history, so sharing one would let an earlier run warm state for
-        // a later one.
-        let world = World::build(cfg);
-        let start = Instant::now();
-        let (work, out, shard_walls) = run(&world, cfg, threads);
-        let wall = start.elapsed();
-        let wall_ms = wall.as_secs_f64() * 1e3;
+        let per_dispatch_ms = dispatch_cost_ms(threads);
+        let mut best: Option<(f64, u64, Vec<std::time::Duration>)> = None;
+        for _ in 0..REPS {
+            // A fresh world per repetition: campaigns advance the
+            // controller's load history, so sharing one would let an
+            // earlier run warm state for a later one.
+            let world = World::build(cfg);
+            let start = Instant::now();
+            let (work, out, shard_walls) = run(&world, cfg, threads);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            if best.as_ref().is_none_or(|(w, ..)| wall_ms < *w) {
+                best = Some((wall_ms, work, shard_walls));
+            }
+            outputs.push(out);
+        }
+        let (wall_ms, work, shard_walls) = best.expect("REPS >= 1");
+        // Shards per dispatch is the thread count (except a possible
+        // smaller trailing batch); the executions-per-dispatch quotient
+        // recovers the dispatch count well enough for an overhead
+        // estimate.
+        let dispatches = shard_walls.len().div_ceil(threads.max(1));
         runs.push(Run {
             threads,
             wall_ms,
             per_sec: if wall_ms > 0.0 { work as f64 / (wall_ms / 1e3) } else { 0.0 },
-            shard_wall_ms: shard_walls.iter().map(|d| d.as_secs_f64() * 1e3).collect(),
+            walls: WallSummary::of(&shard_walls),
+            dispatch_overhead_ms: per_dispatch_ms * dispatches as f64,
         });
-        outputs.push(out);
     }
     let identical = outputs.windows(2).all(|w| w[0] == w[1]);
     (runs, identical, outputs)
@@ -240,6 +338,93 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
+/// The per-campaign speedup gate at the top benched thread count.
+///
+/// `full` is the real-parallelism bar, armed when the host machine can
+/// actually run 4 workers at once; on narrower hosts (CI containers are
+/// routinely pinned to one core, where a >1.0 speedup is physically
+/// impossible) the gate degrades to `floor` — an overhead-amortization
+/// bar that the retired spawn-per-round engine still fails but that
+/// passes once dispatch cost is amortized.
+///
+/// Floor calibration, measured full-scale on a 1-core container: the
+/// spawn-per-round engine ran 0.74×/0.85×/0.52× serial; the persistent
+/// pool runs 0.75–0.81×/~0.95×/~1.05× across invocations. The residual
+/// global_dns gap is not dispatch cost (`dispatch_overhead_ms` ≈ 0.1 ms
+/// of a ~200 ms campaign) but duplicated per-shard memo misses — real
+/// work that extra cores absorb and a single core serializes — and its
+/// run-to-run jitter overlaps the old engine's number, so raw DNS
+/// speedup cannot discriminate engines here. The floors therefore only
+/// bound pathological overhead; engine discrimination in the floor
+/// regime comes from (a) the isp_traffic bar (0.52× old vs ~1.05× pool,
+/// far outside noise) and (b) the [`DISPATCH_RATIO_GATE`] head-to-head
+/// microbenchmark, which is insensitive to core count. The JSON records
+/// which bar was armed.
+struct SpeedupGate {
+    name: &'static str,
+    full: f64,
+    floor: f64,
+}
+
+/// Gate relaxation applied in `--smoke` mode: the smoke campaigns finish
+/// in ~10 ms, where a timeshared core adds ±10% run-to-run jitter even
+/// under best-of-[`REPS`], so CI enforces a proportionally looser bar.
+/// The full-scale run (which produces the committed baseline) keeps the
+/// calibrated thresholds.
+const SMOKE_GATE_SCALE: f64 = 0.85;
+
+const SPEEDUP_GATES: [SpeedupGate; 3] = [
+    SpeedupGate { name: "global_dns", full: 1.2, floor: 0.70 },
+    SpeedupGate { name: "isp_dns", full: 1.0, floor: 0.80 },
+    SpeedupGate { name: "isp_traffic", full: 1.0, floor: 0.80 },
+];
+
+/// Worker widths this host can truly run concurrently.
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Whether the full-strength speedup thresholds apply on this host.
+fn full_gate_armed() -> bool {
+    available_parallelism() >= 4
+}
+
+fn gate_threshold(gate: &SpeedupGate, smoke: bool) -> f64 {
+    let bar = if full_gate_armed() { gate.full } else { gate.floor };
+    if smoke {
+        bar * SMOKE_GATE_SCALE
+    } else {
+        bar
+    }
+}
+
+/// Head-to-head no-op dispatch cost at the top benched width: the
+/// persistent pool versus the retired spawn-per-round reference engine.
+struct DispatchMicrobench {
+    threads: usize,
+    pool_ms: f64,
+    scoped_ms: f64,
+}
+
+impl DispatchMicrobench {
+    /// How many times cheaper a warm-pool wake is than spawning scoped
+    /// threads for the same geometry.
+    fn scoped_over_pool(&self) -> f64 {
+        if self.pool_ms > 0.0 {
+            self.scoped_ms / self.pool_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The dispatch-cost bar: a warm-pool dispatch must be at least this many
+/// times cheaper than the scoped spawn it replaced. Unlike raw campaign
+/// speedup, this ratio is insensitive to core count and scheduler jitter
+/// (measured ~10–40× here), so it holds the tentpole's claim even on the
+/// one-core hosts where the speedup gate degrades to its floors.
+const DISPATCH_RATIO_GATE: f64 = 2.0;
+
 fn write_json(
     out: &mut String,
     smoke: bool,
@@ -247,12 +432,34 @@ fn write_json(
     benches: &[Bench],
     audit: &AllocAudit,
     ckpt: &CheckpointOverhead,
+    dispatch: &DispatchMicrobench,
 ) {
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"mcdn-bench-campaigns-v4\",");
+    let _ = writeln!(out, "  \"schema\": \"mcdn-bench-campaigns-v5\",");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let counts_s: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
     let _ = writeln!(out, "  \"thread_counts\": [{}],", counts_s.join(", "));
+    let _ = writeln!(out, "  \"available_parallelism\": {},", available_parallelism());
+    let _ = writeln!(out, "  \"traffic_batch_ticks\": {TRAFFIC_BATCH_TICKS},");
+    let _ = writeln!(out, "  \"dispatch_microbench\": {{");
+    let _ = writeln!(out, "    \"threads\": {},", dispatch.threads);
+    let _ = writeln!(out, "    \"pool_ms\": {:.4},", dispatch.pool_ms);
+    let _ = writeln!(out, "    \"scoped_ms\": {:.4},", dispatch.scoped_ms);
+    let _ = writeln!(out, "    \"scoped_over_pool\": {:.2},", dispatch.scoped_over_pool());
+    let _ = writeln!(out, "    \"gate_min_ratio\": {DISPATCH_RATIO_GATE:.2}");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"speedup_gate\": {{");
+    let _ = writeln!(out, "    \"full_strength\": {},", full_gate_armed());
+    for (i, g) in SPEEDUP_GATES.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    \"{}\": {:.2}{}",
+            json_escape_free(g.name),
+            gate_threshold(g, smoke),
+            if i + 1 < SPEEDUP_GATES.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"checkpointing\": {{");
     let _ = writeln!(out, "    \"plain_ms\": {:.3},", ckpt.plain_ms);
     let _ = writeln!(out, "    \"journaled_ms\": {:.3},", ckpt.journaled_ms);
@@ -289,16 +496,19 @@ fn write_json(
         let _ = writeln!(out, "      \"runs\": [");
         for (j, r) in b.runs.iter().enumerate() {
             let speedup = if r.wall_ms > 0.0 { serial / r.wall_ms } else { 0.0 };
-            let walls: Vec<String> = r.shard_wall_ms.iter().map(|w| format!("{w:.3}")).collect();
             let _ = write!(
                 out,
-                "        {{\"threads\": {}, \"wall_ms\": {:.3}, \"{}_per_sec\": {:.1}, \"speedup_vs_serial\": {:.3}, \"shard_wall_ms\": [{}]}}",
+                "        {{\"threads\": {}, \"wall_ms\": {:.3}, \"{}_per_sec\": {:.1}, \"speedup_vs_serial\": {:.3}, \"dispatch_overhead_ms\": {:.3}, \"shard_walls\": {{\"count\": {}, \"p50_ms\": {:.3}, \"p90_ms\": {:.3}, \"max_ms\": {:.3}}}}}",
                 r.threads,
                 r.wall_ms,
                 json_escape_free(b.units),
                 r.per_sec,
                 speedup,
-                walls.join(", "),
+                r.dispatch_overhead_ms,
+                r.walls.count,
+                r.walls.p50_ms,
+                r.walls.p90_ms,
+                r.walls.max_ms,
             );
             let _ = writeln!(out, "{}", if j + 1 < b.runs.len() { "," } else { "" });
         }
@@ -354,9 +564,8 @@ fn main() {
     });
 
     let (runs, identical, outs) = bench_campaign(&cfg, &counts, |world, cfg, threads| {
-        let r = run_isp_traffic_threads(world, cfg, threads);
-        // The traffic engine exposes no shard timing; walls stay empty.
-        (r.flows.len() as u64, r, Vec::new())
+        let (r, walls) = run_isp_traffic_threads_timed(world, cfg, threads);
+        (r.flows.len() as u64, r, walls)
     });
     let first = &outs[0];
     benches.push(Bench {
@@ -384,8 +593,21 @@ fn main() {
     );
 
     let all_identical = benches.iter().all(|b| b.identical);
+    let top_threads = counts.iter().copied().max().unwrap_or(1);
+    let dispatch = DispatchMicrobench {
+        threads: top_threads,
+        pool_ms: dispatch_cost_ms(top_threads),
+        scoped_ms: scoped_dispatch_cost_ms(top_threads),
+    };
+    eprintln!(
+        "  dispatch@{}t pool={:.4}ms scoped={:.4}ms ratio={:.1}x",
+        dispatch.threads,
+        dispatch.pool_ms,
+        dispatch.scoped_ms,
+        dispatch.scoped_over_pool(),
+    );
     let mut json = String::new();
-    write_json(&mut json, smoke, &counts, &benches, &audit, &ckpt);
+    write_json(&mut json, smoke, &counts, &benches, &audit, &ckpt, &dispatch);
     std::fs::write(&out_path, &json).expect("write BENCH json");
     for b in &benches {
         let serial = b.runs.first().map(|r| r.wall_ms).unwrap_or(0.0);
@@ -400,23 +622,45 @@ fn main() {
             b.identical,
         );
     }
-    // Parallel-regression watch: a warning, deliberately not a gate —
-    // shared CI runners make multi-thread wall clocks too noisy to fail
-    // on, but a sub-serial run should never pass silently.
+    // Parallel-performance gate (was a WARN until the persistent pool
+    // landed): the top benched thread count must clear its campaign's
+    // speedup threshold — the real-parallelism bar on hosts with ≥4
+    // cores, the overhead-amortization floor on narrower ones (where a
+    // >1× speedup is physically impossible but the retired spawn-per-
+    // round engine's 0.74× global / 0.52× traffic walls still fail).
+    let mut gate_failed = false;
     for b in &benches {
         let serial = b.runs.first().map(|r| r.wall_ms).unwrap_or(0.0);
-        for r in b.runs.iter().skip(1) {
-            let speedup = if r.wall_ms > 0.0 { serial / r.wall_ms } else { 0.0 };
-            if speedup < 1.0 {
-                eprintln!(
-                    "bench_campaigns: WARN — {} at {} threads ran {speedup:.3}x serial \
-                     (parallel regression; see shard_wall_ms for the imbalance)",
-                    b.name, r.threads
-                );
-            }
+        let Some(top) = b.runs.last().filter(|r| r.threads > 1) else { continue };
+        let speedup = if top.wall_ms > 0.0 { serial / top.wall_ms } else { 0.0 };
+        let Some(gate) = SPEEDUP_GATES.iter().find(|g| g.name == b.name) else { continue };
+        let threshold = gate_threshold(gate, smoke);
+        if speedup < threshold {
+            eprintln!(
+                "bench_campaigns: FAIL — {} at {} threads ran {speedup:.3}x serial \
+                 (gate ≥ {threshold:.2}x, {}; see shard_walls/dispatch_overhead_ms)",
+                b.name,
+                top.threads,
+                if full_gate_armed() { "full-strength" } else { "overhead floor" },
+            );
+            gate_failed = true;
         }
     }
+    // The hardware-independent half of the gate: the pool must beat the
+    // retired spawn-per-round engine head-to-head on dispatch cost.
+    if top_threads > 1 && dispatch.scoped_over_pool() < DISPATCH_RATIO_GATE {
+        eprintln!(
+            "bench_campaigns: FAIL — pool dispatch at {} threads is only {:.1}x cheaper \
+             than scoped spawn (gate ≥ {DISPATCH_RATIO_GATE:.1}x)",
+            top_threads,
+            dispatch.scoped_over_pool(),
+        );
+        gate_failed = true;
+    }
     eprintln!("bench_campaigns: wrote {out_path}");
+    if gate_failed {
+        std::process::exit(1);
+    }
     if !all_identical {
         eprintln!("bench_campaigns: FAIL — outputs differ across thread counts");
         std::process::exit(1);

@@ -452,6 +452,36 @@ struct ShardPartial {
     memo_counts: HashMap<MemoKey, u64>,
 }
 
+/// One shard's reusable working state, alive for the whole campaign: the
+/// resolve scratch (overlay interner, answer buffers, trace arena) and
+/// the per-round memo. Keyed by **shard index**, not by pool worker, so
+/// which thread happens to serve a shard can never influence the state it
+/// sees — and the warm arenas stop being rebuilt every round.
+///
+/// Reuse is observationally safe: the memo is cleared at the top of every
+/// round closure (also what makes a pristine-restore retry replay the
+/// panicked attempt's exact inputs), `intern_in` is idempotent, and memo
+/// counts are canonicalized to `Name`-keyed form at merge time.
+#[derive(Default)]
+struct ShardState {
+    scratch: ResolveScratch,
+    memo: IRoundMemo,
+}
+
+/// The recovery policy of one campaign round. Pristine-restore clones are
+/// paid only when a shard can actually unwind — an armed test hook, or a
+/// fault profile whose faults panic (none today, see
+/// [`FaultProfile::may_panic`]); every production round takes the
+/// zero-copy fail-fast path, which still reports a typed
+/// [`mcdn_exec::ShardFailure`] if a genuine bug panics a shard.
+fn round_recovery(profile: &FaultProfile) -> mcdn_exec::Recovery {
+    if profile.may_panic() || testhooks::is_armed() {
+        mcdn_exec::Recovery::Pristine { retries: mcdn_exec::DEFAULT_SHARD_RETRIES }
+    } else {
+        mcdn_exec::Recovery::FailFast
+    }
+}
+
 /// Test-only chaos hooks for the crash-recovery suite.
 ///
 /// Hidden but always compiled (integration tests cannot see `#[cfg(test)]`
@@ -473,6 +503,14 @@ pub mod testhooks {
     /// Disarms any armed panic (idempotent).
     pub fn disarm() {
         ARMED_SHARD.store(-1, Ordering::SeqCst);
+    }
+
+    /// Whether a panic is currently armed, without consuming it. The
+    /// engine checks this per round to decide whether the supervised
+    /// shards need pristine-restore recovery (armed) or can take the
+    /// zero-copy fail-fast path (the production default).
+    pub fn is_armed() -> bool {
+        ARMED_SHARD.load(Ordering::SeqCst) >= 0
     }
 
     /// True exactly once after arming: firing disarms.
@@ -545,9 +583,11 @@ impl CampaignParams<'_> {
 /// * batch runs (`stop_after` rounds, then suspend with a durable
 ///   checkpoint).
 ///
-/// Shards run under [`mcdn_exec::shard_map_supervised`]: a panicking
-/// shard is restored to its pre-attempt probes and deterministically
-/// retried before the round merges.
+/// Rounds dispatch onto the persistent worker pool
+/// ([`mcdn_exec::shard_map_recover_timed`]), with the recovery policy
+/// picked per round: zero-copy fail-fast when nothing can panic (the
+/// production default), pristine-restore with deterministic retry when a
+/// test hook arms a mid-shard panic.
 fn drive_campaign(
     p: &CampaignParams<'_>,
     journal_path: Option<&Path>,
@@ -580,6 +620,13 @@ fn drive_campaign(
     let mutations = InternedCampaignMutations::new(p.profile, cns.table());
     let bailiwick = bailiwick_policy(&p.profile);
     let table_len = cns.table().len();
+    // The worker pool is process-persistent; warming here moves the
+    // one-time thread creation out of round 1. Per-shard working state
+    // (scratch arenas, memo tables) lives for the whole campaign.
+    mcdn_exec::warm(p.threads);
+    let shard_count = mcdn_exec::shard_bounds(fleet.len(), p.threads).len().max(1);
+    let shard_states: Vec<std::sync::Mutex<ShardState>> =
+        (0..shard_count).map(|_| std::sync::Mutex::new(ShardState::default())).collect();
     // The controller evolves in real time regardless of how often probes
     // measure: walk it on a fine grid between measurement rounds so load
     // history (and the a1015 activation lag) is independent of cadence.
@@ -663,15 +710,24 @@ fn drive_campaign(
         // live state's lock, and a probe's answer cannot depend on which
         // shard ran first.
         let snap = Arc::new(world.state.capture());
-        let (partials, shard_walls) = mcdn_exec::shard_map_supervised_timed(
+        let (partials, shard_walls) = mcdn_exec::shard_map_recover_timed(
             &mut fleet,
             p.threads,
-            mcdn_exec::DEFAULT_SHARD_RETRIES,
+            round_recovery(&p.profile),
             |shard_idx, shard| {
                 let _guard = metacdn::install_snapshot(Arc::clone(&snap));
-                let mut scratch = ResolveScratch::new();
-                let entry_id = cns.intern_in(&mut scratch, &entry);
-                let mut memo = IRoundMemo::new();
+                // A panicking attempt poisons the mutex with the guard
+                // held mid-round; the state is re-cleared on entry anyway,
+                // so the poison flag carries no information here.
+                let mut state =
+                    shard_states[shard_idx].lock().unwrap_or_else(|e| e.into_inner());
+                let ShardState { scratch, memo } = &mut *state;
+                // Reset the per-round memo before anything else: round
+                // N+1 must never see round N's answers, and a pristine-
+                // restore retry must replay the panicked attempt's exact
+                // inputs.
+                memo.clear();
+                let entry_id = cns.intern_in(scratch, &entry);
                 let mut partial = ShardPartial {
                     agg: UniqueIpAggregator::new(p.bin),
                     classes: IpClassLedger::new(),
@@ -691,7 +747,7 @@ fn drive_campaign(
                     }
                     let (result, outcome_attempts) = probe.measure_interned_adversarial(
                         &cns,
-                        &mut scratch,
+                        scratch,
                         entry_id,
                         RecordType::A,
                         t,
@@ -699,13 +755,13 @@ fn drive_campaign(
                         &mutations,
                         bailiwick,
                         &p.retry,
-                        &mut memo,
+                        memo,
                     );
                     partial.attempts += outcome_attempts as u64;
                     if matches!(&result, Err(e) if e.is_transient()) {
                         partial.retry_exhausted += 1;
                     }
-                    let attribution = attribute_interned(scratch.trace(), &attr, &cns, &scratch);
+                    let attribution = attribute_interned(scratch.trace(), &attr, &cns, scratch);
                     for ip in scratch.trace().addresses() {
                         let origin = rib.lookup(ip).map(|(_, asn)| asn);
                         let class = classify_ip_from_origin(
@@ -720,7 +776,7 @@ fn drive_campaign(
                     }
                     partial.resolutions += 1;
                 }
-                memo.counts_into(&cns, &scratch, &mut partial.memo_counts);
+                memo.counts_into(&cns, scratch, &mut partial.memo_counts);
                 partial
             },
         )?;

@@ -70,5 +70,8 @@ pub use poisoning::{
 };
 pub use timeline::{timeline, TimelineEntry};
 pub use tracecampaign::{run_traceroutes, TracerouteCampaignResult};
-pub use traffic::{run_isp_traffic, run_isp_traffic_threads, TrafficResult};
+pub use traffic::{
+    run_isp_traffic, run_isp_traffic_threads, run_isp_traffic_threads_timed, TrafficResult,
+    TRAFFIC_BATCH_TICKS,
+};
 pub use world::{World, WorldBuildError};

@@ -8,14 +8,16 @@
 //! exactly by SNMP, and sampled into NetFlow v5 records. The analysis crate
 //! then re-runs the paper's §5 pipeline over these artifacts.
 //!
-//! Each tick runs in two phases on the deterministic parallel engine.
-//! Phase A (serial) routes flows onto links: parallel links fill *in
-//! order*, so placement inherently depends on the sequence of earlier
-//! flows and stays single-threaded. Phase B (sharded) does the per-flow
-//! work that is independent given a placement — chunking, NetFlow
-//! sampling, export-loss draws, record construction — and merges the
-//! shard outputs in canonical flow order, so the record stream is
-//! bit-identical for any thread count.
+//! The run splits into two phases on the deterministic parallel engine.
+//! Phase A (serial, per tick) routes flows onto links: parallel links
+//! fill *in order*, so placement inherently depends on the sequence of
+//! earlier flows and stays single-threaded. Phase B (sharded) does the
+//! per-flow work that is independent given a placement — chunking,
+//! NetFlow sampling, export-loss draws, record construction — batched
+//! across [`TRAFFIC_BATCH_TICKS`] ticks per pool dispatch so the dispatch
+//! cost amortizes, and merged in canonical (tick-major) flow order, so
+//! the record stream is bit-identical for any thread count and batch
+//! size.
 
 use crate::classes::CdnClass;
 use crate::config::{LinkSelection, ScenarioConfig};
@@ -72,14 +74,30 @@ fn spread(pool: &[Ipv4Addr], n: usize, total_bytes: f64, tick_salt: u64) -> Vec<
 }
 
 /// A flow with its link placement decided — the input to the
-/// embarrassingly-parallel phase of a tick. `Clone` so the supervised
-/// shard runner can restore a shard after an isolated panic.
+/// embarrassingly-parallel phase. Carries its tick (`t`) so flows from
+/// several ticks can ride one pool dispatch. `Clone` because the
+/// supervised shard runner requires it (the read-only phase-B closure
+/// never actually triggers a restore).
 #[derive(Clone)]
 struct RoutedFlow {
     src: Ipv4Addr,
     src_as: AsId,
     landed: Vec<(LinkId, u64)>,
+    t: SimTime,
 }
+
+/// Ticks whose routed flows are batched into one phase-B pool dispatch.
+///
+/// A single tick's record building is a few hundred microseconds of work
+/// — less than the cost of waking the pool for it — which is why the
+/// per-tick engine scaled *negatively*. Batching 8 ticks lifts each
+/// dispatch above the ~2 ms amortization target while leaving the output
+/// untouched: every per-flow decision (chunking, sampler draw,
+/// export-loss draw, record fields) depends only on the flow itself and
+/// its own tick, and the batch preserves tick-major flow order, so the
+/// record stream is bit-identical to per-tick dispatch for any batch
+/// size and any thread count.
+pub const TRAFFIC_BATCH_TICKS: usize = 8;
 
 /// Runs the border telemetry over `cfg`'s traffic window on
 /// [`mcdn_exec::thread_count()`] workers (the `MCDN_THREADS` environment
@@ -93,6 +111,31 @@ pub fn run_isp_traffic_threads(
     world: &World,
     cfg: &ScenarioConfig,
     threads: usize,
+) -> TrafficResult {
+    run_traffic(world, cfg, threads, None)
+}
+
+/// [`run_isp_traffic_threads`] that additionally reports the wall-clock
+/// time of every phase-B shard execution, dispatch-major in canonical
+/// shard order — the telemetry the campaign benchmark summarizes. Timing
+/// is side-band only: the result is bit-identical to the untimed entry
+/// point's.
+pub fn run_isp_traffic_threads_timed(
+    world: &World,
+    cfg: &ScenarioConfig,
+    threads: usize,
+) -> (TrafficResult, Vec<std::time::Duration>) {
+    let mut walls = Vec::new();
+    let result = run_traffic(world, cfg, threads, Some(&mut walls));
+    (result, walls)
+}
+
+/// The traffic engine behind both public entry points.
+fn run_traffic(
+    world: &World,
+    cfg: &ScenarioConfig,
+    threads: usize,
+    mut walls: Option<&mut Vec<std::time::Duration>>,
 ) -> TrafficResult {
     let mut router = Router::new();
     let mut snmp = SnmpCounters::new();
@@ -110,6 +153,11 @@ pub fn run_isp_traffic_threads(
     // The topology is frozen for the whole run: compile the RIB into its
     // flat binary-search form once instead of walking the trie per flow.
     let rib = world.topo.compiled_rib();
+    // Routed flows accumulate here across ticks until a batch is big
+    // enough to amortize a pool dispatch (see [`TRAFFIC_BATCH_TICKS`]).
+    mcdn_exec::warm(threads);
+    let mut batch: Vec<RoutedFlow> = Vec::new();
+    let mut ticks_in_batch = 0usize;
 
     let mut t = cfg.traffic_start;
     while t < cfg.traffic_end {
@@ -194,7 +242,6 @@ pub fn run_isp_traffic_threads(
         // cannot shard. SNMP octets are exact per-link sums and are
         // accounted here too.
         let mut link_used: HashMap<LinkId, u64> = HashMap::new();
-        let mut routed: Vec<RoutedFlow> = Vec::new();
         for flow in &offered {
             let Some((_, src_as)) = rib.lookup(flow.src) else { continue };
             let Some(path) = router.path(&world.topo, src_as, eyeball) else { continue };
@@ -227,17 +274,32 @@ pub fn run_isp_traffic_threads(
             for (link_id, bytes) in &landed {
                 snmp.account(*link_id, *bytes);
             }
-            routed.push(RoutedFlow { src: flow.src, src_as, landed });
+            batch.push(RoutedFlow { src: flow.src, src_as, landed, t });
         }
-        // Phase B (sharded): given the placement, each flow's chunking,
-        // sampling, export-loss draw, and record construction depend only
-        // on that flow — shard them and concatenate the per-shard outputs
-        // in canonical flow order. Shards run supervised: a panicking
-        // shard is restored and retried before it can poison the tick.
-        let partials = mcdn_exec::shard_map_supervised(
-            &mut routed,
+        snmp.poll_filtered(t, |link| {
+            if profile.snmp_poll_missed(link.0 as u64, t) {
+                polls_missed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        ticks_in_batch += 1;
+        t += tick;
+        if ticks_in_batch < TRAFFIC_BATCH_TICKS && t < cfg.traffic_end {
+            continue; // keep filling the batch
+        }
+        // Phase B (sharded, batched): given the placements, each flow's
+        // chunking, sampling, export-loss draw, and record construction
+        // depend only on that flow and its own tick — shard the whole
+        // batch and concatenate the per-shard outputs, which preserves
+        // tick-major flow order, so the record stream is bit-identical to
+        // a per-tick (or serial) sweep. The closure never mutates its
+        // shard, so a panicking shard retries without a restore.
+        let (partials, shard_walls) = mcdn_exec::shard_map_recover_timed(
+            &mut batch,
             threads,
-            mcdn_exec::DEFAULT_SHARD_RETRIES,
+            mcdn_exec::Recovery::RetryUnrestored { retries: mcdn_exec::DEFAULT_SHARD_RETRIES },
             |_shard_idx, shard| {
                 let mut shard_flows: Vec<(SimTime, LinkId, FlowRecord)> = Vec::new();
                 let mut shard_losses = 0u64;
@@ -259,12 +321,13 @@ pub fn run_isp_traffic_threads(
                                 (fnv64(&flow.src.octets()) % 200) as u8,
                                 20u8.wrapping_add(chunk_i),
                             );
-                            if let Some(sampled) = sampler.sample(chunk, (flow.src, dst, t)) {
+                            if let Some(sampled) = sampler.sample(chunk, (flow.src, dst, flow.t)) {
                                 let mut key = [0u8; 9];
                                 key[..4].copy_from_slice(&flow.src.octets());
                                 key[4..8].copy_from_slice(&dst.octets());
                                 key[8] = chunk_i;
-                                if profile.netflow_export_lost(link_id.0 as u64, fnv64(&key), t) {
+                                if profile.netflow_export_lost(link_id.0 as u64, fnv64(&key), flow.t)
+                                {
                                     // The exporter sampled the packet but the
                                     // record never reached the collector.
                                     shard_losses += 1;
@@ -277,7 +340,7 @@ pub fn run_isp_traffic_threads(
                                         flow.src_as,
                                         eyeball,
                                     );
-                                    shard_flows.push((t, link_id, rec));
+                                    shard_flows.push((flow.t, link_id, rec));
                                 }
                             }
                             left -= chunk;
@@ -288,20 +351,18 @@ pub fn run_isp_traffic_threads(
                 (shard_flows, shard_losses)
             },
         )
-        .unwrap_or_else(|e| panic!("traffic tick failed: {e}"));
+        .unwrap_or_else(|e| panic!("traffic phase B failed: {e}"));
+        if let Some(w) = walls.as_deref_mut() {
+            // Side-band telemetry only; timed and untimed runs stay
+            // bit-identical.
+            w.extend(shard_walls);
+        }
         for (shard_flows, shard_losses) in partials {
             flows.extend(shard_flows);
             export_losses += shard_losses;
         }
-        snmp.poll_filtered(t, |link| {
-            if profile.snmp_poll_missed(link.0 as u64, t) {
-                polls_missed += 1;
-                false
-            } else {
-                true
-            }
-        });
-        t += tick;
+        batch.clear();
+        ticks_in_batch = 0;
     }
     TrafficResult {
         flows,

@@ -37,8 +37,23 @@ fn chaos_faults() -> FaultProfile {
     scen.faults
 }
 
-fn profiles() -> [(&'static str, FaultProfile); 2] {
-    [("none", FaultProfile::none()), ("chaos", chaos_faults())]
+/// The full Byzantine-answer profile (spoofed A records, NS injection,
+/// truncation, TTL inflation) with bailiwick enforcement ON — the
+/// hardened-resolver arm of the poisoning sweep. Under it every round
+/// takes the tamper/enforcement code path, so shard merges carry poison
+/// audit counters, not just resolution results.
+fn poison_enforced_faults() -> FaultProfile {
+    let faults = FaultProfile::poisoning(41);
+    assert!(faults.enforce_bailiwick);
+    faults
+}
+
+fn profiles() -> [(&'static str, FaultProfile); 3] {
+    [
+        ("none", FaultProfile::none()),
+        ("chaos", chaos_faults()),
+        ("poison-enforced", poison_enforced_faults()),
+    ]
 }
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
@@ -86,6 +101,33 @@ fn traffic_bit_identical_across_thread_counts() {
             assert_eq!(r, baseline, "faults={label} threads={threads}");
         }
     }
+}
+
+#[test]
+fn pool_is_reused_across_back_to_back_campaigns() {
+    // Two full campaigns over the same worker pool: the second must not
+    // spawn a single new thread (the point of the persistent pool) and
+    // must produce the same output as the first for the same config.
+    let cfg = small_cfg();
+    let threads = 4;
+    // Warm to the widest dispatch ANY test in this binary performs (the
+    // pool is process-global and tests run concurrently): once no test
+    // can trigger a spawn, the stability assertion below cannot be
+    // perturbed by a neighbour.
+    metacdn_suite::exec::warm(*THREAD_COUNTS.iter().max().unwrap());
+    let first = run_global_dns_threads(&World::build(&cfg), &cfg, threads);
+    let between = metacdn_suite::exec::pool_stats();
+    let second = run_global_dns_threads(&World::build(&cfg), &cfg, threads);
+    let after = metacdn_suite::exec::pool_stats();
+    assert_eq!(first, second, "back-to-back campaigns must agree");
+    assert_eq!(
+        after.spawned, between.spawned,
+        "second campaign spawned workers on a warm pool: {between:?} -> {after:?}"
+    );
+    assert!(
+        after.dispatches > between.dispatches,
+        "second campaign never dispatched to the pool: {between:?} -> {after:?}"
+    );
 }
 
 // ------------------------------------------------- shard-boundary law ---
