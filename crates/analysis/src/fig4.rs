@@ -116,6 +116,7 @@ mod tests {
                 retry_exhausted: 0,
                 memo_lookups: 0,
                 memo_hits: 0,
+                reused_resolutions: 0,
             },
             release,
         )

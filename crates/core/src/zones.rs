@@ -130,19 +130,31 @@ fn akadns_zone(cfg: &MetaCdnConfig) -> Zone {
     // Step ①: China/India diversion, everything else back to Apple.
     // The answer depends only on the client's city (its special-market
     // membership), never its address — declared City-scoped so the
-    // engine's per-round memo can replay it across a city's probes.
-    z.set_policy_scoped(
-        names::geo_split(),
+    // engine's per-round memo can replay it across a city's probes, and
+    // dependency-free (`PolicyDeps::none`) so the incremental engine can
+    // replay it across *rounds*: nothing that changes between rounds
+    // (time, health signals, the weight schedule) enters the answer.
+    // Owner and target names are built once here; parsing them inside the
+    // closure would put redundant `Name::parse` calls on the hot path.
+    let geo_split = names::geo_split();
+    let owner_for_policy = geo_split.clone();
+    let china_lb = names::special_lb(mcdn_geo::continent::SpecialMarket::China.label());
+    let india_lb = names::special_lb(mcdn_geo::continent::SpecialMarket::India.label());
+    let selector = names::selector();
+    z.set_policy_with_deps(
+        geo_split,
         Arc::new(move |qtype: RecordType, ctx: &QueryContext| {
             only_a(qtype, || {
                 let target = match ctx.locode.special_market() {
-                    Some(m) => names::special_lb(m.label()),
-                    None => names::selector(),
+                    Some(mcdn_geo::continent::SpecialMarket::China) => &china_lb,
+                    Some(mcdn_geo::continent::SpecialMarket::India) => &india_lb,
+                    None => &selector,
                 };
-                vec![cname(&names::geo_split(), &target, names::TTL_GEO)]
+                vec![cname(&owner_for_policy, target, names::TTL_GEO)]
             })
         }),
         PolicyScope::City,
+        mcdn_dnssim::PolicyDeps::none(),
     );
 
     // Dedicated market pools (terminal A records).
@@ -159,6 +171,9 @@ fn akadns_zone(cfg: &MetaCdnConfig) -> Zone {
         let has_level3 = cfg.level3.is_some();
         let owner = names::region_lb(region);
         let owner_for_policy = owner.clone();
+        let edgesuite = names::akamai_edgesuite();
+        let limelight = names::limelight_lb(region);
+        let level3 = names::level3_lb();
         z.set_policy(
             owner,
             Arc::new(move |qtype: RecordType, ctx: &QueryContext| {
@@ -167,12 +182,12 @@ fn akadns_zone(cfg: &MetaCdnConfig) -> Zone {
                         .select_third_party(region, ctx.client_ip, ctx.now)
                         .unwrap_or(CdnKind::Akamai);
                     let target = match pick {
-                        CdnKind::Akamai | CdnKind::Apple => names::akamai_edgesuite(),
-                        CdnKind::Limelight => names::limelight_lb(region),
-                        CdnKind::Level3 if has_level3 => names::level3_lb(),
-                        CdnKind::Level3 => names::akamai_edgesuite(),
+                        CdnKind::Akamai | CdnKind::Apple => &edgesuite,
+                        CdnKind::Limelight => &limelight,
+                        CdnKind::Level3 if has_level3 => &level3,
+                        CdnKind::Level3 => &edgesuite,
                     };
-                    vec![cname(&owner_for_policy, &target, names::TTL_REGION_LB)]
+                    vec![cname(&owner_for_policy, target, names::TTL_REGION_LB)]
                 })
             }),
         );
@@ -186,19 +201,38 @@ fn applimg_zone(cfg: &MetaCdnConfig) -> Zone {
 
     let state = Arc::clone(&cfg.state);
     let site_coords = cfg.apple_site_coords.clone();
+    let selector = names::selector();
+    let owner_for_policy = selector.clone();
+    let gslb_a = names::gslb('a');
+    let gslb_b = names::gslb('b');
+    let lb_us = names::region_lb(Region::Us);
+    let lb_eu = names::region_lb(Region::Eu);
+    let lb_apac = names::region_lb(Region::Apac);
+    // Whether a client coordinate is outside Apple's footprint is a pure
+    // function of the coordinate; memoize it so the per-query cost is one
+    // map probe instead of a distance scan over every site.
+    let coverage: std::sync::RwLock<std::collections::HashMap<(u64, u64), bool>> =
+        std::sync::RwLock::new(std::collections::HashMap::new());
     z.set_policy(
-        names::selector(),
+        selector,
         Arc::new(move |qtype: RecordType, ctx: &QueryContext| {
             only_a(qtype, || {
                 let region = ctx.region();
                 let mut probs = state.effective_share(region, ctx.now);
                 // Coverage rule: clients far from every Apple site are
                 // mostly mapped to third parties.
-                let nearest_km = site_coords
-                    .iter()
-                    .map(|c| ctx.coord.distance_km(c))
-                    .fold(f64::INFINITY, f64::min);
-                if nearest_km > COVERAGE_KM {
+                let ckey = (ctx.coord.lat.to_bits(), ctx.coord.lon.to_bits());
+                let cached = coverage.read().expect("coverage cache poisoned").get(&ckey).copied();
+                let remote = cached.unwrap_or_else(|| {
+                    let nearest_km = site_coords
+                        .iter()
+                        .map(|c| ctx.coord.distance_km(c))
+                        .fold(f64::INFINITY, f64::min);
+                    let remote = nearest_km > COVERAGE_KM;
+                    coverage.write().expect("coverage cache poisoned").insert(ckey, remote);
+                    remote
+                });
+                if remote {
                     for (k, p) in probs.iter_mut() {
                         if *k == CdnKind::Apple {
                             *p *= COVERAGE_PENALTY;
@@ -210,12 +244,15 @@ fn applimg_zone(cfg: &MetaCdnConfig) -> Zone {
                 let target = match pick {
                     CdnKind::Apple => {
                         // Two interchangeable GSLB heads, split per client.
-                        let which = if fnv64(&ctx.client_ip.octets()) & 1 == 0 { 'a' } else { 'b' };
-                        names::gslb(which)
+                        if fnv64(&ctx.client_ip.octets()) & 1 == 0 { &gslb_a } else { &gslb_b }
                     }
-                    _ => names::region_lb(region),
+                    _ => match region {
+                        Region::Us => &lb_us,
+                        Region::Eu => &lb_eu,
+                        Region::Apac => &lb_apac,
+                    },
                 };
-                vec![cname(&names::selector(), &target, names::TTL_SELECTOR)]
+                vec![cname(&owner_for_policy, target, names::TTL_SELECTOR)]
             })
         }),
     );
@@ -249,6 +286,9 @@ fn applimg_zone(cfg: &MetaCdnConfig) -> Zone {
 fn edgesuite_zone(cfg: &MetaCdnConfig) -> Zone {
     let mut z = Zone::new(Name::parse("edgesuite.net").expect("static"));
     let state = Arc::clone(&cfg.state);
+    let owner_for_policy = names::akamai_edgesuite();
+    let map_event = names::akamai_map_event();
+    let map_baseline = names::akamai_map_baseline();
     z.set_policy(
         names::akamai_edgesuite(),
         Arc::new(move |qtype: RecordType, ctx: &QueryContext| {
@@ -256,15 +296,12 @@ fn edgesuite_zone(cfg: &MetaCdnConfig) -> Zone {
                 // When the event map is live, it takes the bulk (~70 %) of
                 // clients; assignment re-randomizes every five minutes, as
                 // Akamai's mapping continuously re-decides.
-                let mut key = ctx.client_ip.octets().to_vec();
-                key.extend_from_slice(&(ctx.now.as_secs() / 300).to_be_bytes());
+                let mut key = [0u8; 12];
+                key[..4].copy_from_slice(&ctx.client_ip.octets());
+                key[4..].copy_from_slice(&(ctx.now.as_secs() / 300).to_be_bytes());
                 let event = state.a1015_active(ctx.region(), ctx.now) && fnv64(&key) % 10 < 7;
-                let target = if event {
-                    names::akamai_map_event()
-                } else {
-                    names::akamai_map_baseline()
-                };
-                vec![cname(&names::akamai_edgesuite(), &target, names::TTL_EDGESUITE)]
+                let target = if event { &map_event } else { &map_baseline };
+                vec![cname(&owner_for_policy, target, names::TTL_EDGESUITE)]
             })
         }),
     );
@@ -341,6 +378,7 @@ fn level3_zone(cfg: &MetaCdnConfig) -> Zone {
     let level3 = Arc::clone(cfg.level3.as_ref().expect("level3 configured"));
     let state = Arc::clone(&cfg.state);
     let k = cfg.limelight_answer_k;
+    let owner_for_policy = names::level3_lb();
     z.set_policy(
         names::level3_lb(),
         Arc::new(move |qtype: RecordType, ctx: &QueryContext| {
@@ -348,7 +386,7 @@ fn level3_zone(cfg: &MetaCdnConfig) -> Zone {
                 let region = ctx.region();
                 let load = state.cdn_load(CdnKind::Level3, region);
                 let addrs = level3.answer(region, load, ctx.client_ip, ctx.now, k);
-                a_records(&names::level3_lb(), 60, &addrs)
+                a_records(&owner_for_policy, 60, &addrs)
             })
         }),
     );

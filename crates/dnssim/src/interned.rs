@@ -40,10 +40,10 @@ use crate::faults::UpstreamFault;
 use crate::memo::{MemoKey, MemoScope};
 use crate::mutation::{apply_itamper, BailiwickPolicy, ITamper, InternedMutationModel, NoInternedMutations};
 use crate::resolver::{ResolutionTrace, TraceStep, MAX_CHAIN};
-use crate::zone::{MappingPolicy, Namespace, PolicyScope, ZoneAnswer};
+use crate::zone::{MappingPolicy, Namespace, PolicyDeps, PolicyScope, ZoneAnswer};
 use mcdn_dnswire::{Name, RData, RecordType, ResourceRecord};
 use mcdn_geo::{Duration, SimTime};
-use mcdn_intern::{display_fnv, NameId, NameTable};
+use mcdn_intern::{display_fnv, FnvBuildHasher, NameId, NameTable};
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -99,6 +99,8 @@ struct CompiledMeta {
     authority: Option<u16>,
     /// Declared answer scope at this name ([`Zone::scope_of`](crate::Zone::scope_of)).
     scope: PolicyScope,
+    /// Declared mutable-input deps at this name ([`Zone::deps_of`](crate::Zone::deps_of)).
+    deps: PolicyDeps,
     /// Whether the authoritative zone has any record or policy here.
     exists: bool,
 }
@@ -109,9 +111,9 @@ struct CompiledZone<'a> {
     /// Interned zone origin.
     origin: NameId,
     /// Dynamic mapping policies by interned owner id.
-    policies: HashMap<u32, &'a dyn MappingPolicy>,
+    policies: HashMap<u32, &'a dyn MappingPolicy, FnvBuildHasher>,
     /// Static record sets: `(owner id, wire qtype) → arena range`.
-    statics: HashMap<(u32, u16), (u32, u32)>,
+    statics: HashMap<(u32, u16), (u32, u32), FnvBuildHasher>,
     /// Backing storage for all static record sets.
     arena: Vec<IRecord>,
 }
@@ -146,14 +148,14 @@ fn authority_index(ns: &Namespace, name: &Name) -> Option<u16> {
 
 fn meta_for(ns: &Namespace, name: &Name) -> CompiledMeta {
     let authority = authority_index(ns, name);
-    let (scope, exists) = match authority {
+    let (scope, deps, exists) = match authority {
         Some(i) => {
             let z = &ns.zones()[i as usize];
-            (z.scope_of(name), z.contains_name(name))
+            (z.scope_of(name), z.deps_of(name), z.contains_name(name))
         }
-        None => (PolicyScope::Global, false),
+        None => (PolicyScope::Global, PolicyDeps::none(), false),
     };
-    CompiledMeta { authority, scope, exists }
+    CompiledMeta { authority, scope, deps, exists }
 }
 
 /// Overflow interner for names outside the compiled table, owned by a
@@ -163,7 +165,7 @@ fn meta_for(ns: &Namespace, name: &Name) -> CompiledMeta {
 /// (tests, ad-hoc probes) remain correct rather than panicking.
 #[derive(Debug, Default)]
 pub struct Overlay {
-    ids: HashMap<Name, u32>,
+    ids: HashMap<Name, u32, FnvBuildHasher>,
     names: Vec<Name>,
     fnvs: Vec<u64>,
     meta: Vec<CompiledMeta>,
@@ -184,7 +186,11 @@ pub struct CompiledNamespace<'a> {
     table: NameTable,
     meta: Vec<CompiledMeta>,
     zones: Vec<CompiledZone<'a>>,
+    compile_id: u64,
 }
+
+/// Process-wide compile counter behind [`CompiledNamespace::compile_id`].
+static COMPILE_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl std::fmt::Debug for CompiledNamespace<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -258,7 +264,8 @@ impl<'a> CompiledNamespace<'a> {
                 let mut sets: Vec<(&Name, u16, &[ResourceRecord])> = zone.record_sets().collect();
                 sets.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
                 let mut arena = Vec::with_capacity(sets.iter().map(|(_, _, rrs)| rrs.len()).sum());
-                let mut statics = HashMap::with_capacity(sets.len());
+                let mut statics =
+                    HashMap::with_capacity_and_hasher(sets.len(), FnvBuildHasher);
                 for (name, qtype, rrs) in sets {
                     let id = table.get(name).expect("owner interned");
                     let start = arena.len() as u32;
@@ -276,12 +283,36 @@ impl<'a> CompiledNamespace<'a> {
             .collect();
         // Pass 3: per-name metadata.
         let meta = table.iter().map(|(_, name)| meta_for(ns, name)).collect();
-        CompiledNamespace { ns, table, meta, zones }
+        let compile_id = COMPILE_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        CompiledNamespace { ns, table, meta, zones, compile_id }
     }
 
     /// The shared name table (read-only after compile).
     pub fn table(&self) -> &NameTable {
         &self.table
+    }
+
+    /// A process-unique id for this compilation, assigned monotonically.
+    /// Two resolutions against equal compile ids saw the *same frozen
+    /// namespace object*; the incremental engine folds this into its
+    /// version vector so a recompile (even of an identical namespace)
+    /// conservatively invalidates every reused answer.
+    pub fn compile_id(&self) -> u64 {
+        self.compile_id
+    }
+
+    /// The memo scope answers at `id` would be shared under for a client
+    /// in `locode` — exactly the key component
+    /// [`resolve`](InternedResolver::resolve) uses, exposed so the
+    /// incremental engine can reconstruct a replayed resolution's memo
+    /// contributions from its trace.
+    pub fn memo_scope_in(
+        &self,
+        scratch: &ResolveScratch,
+        id: NameId,
+        locode: mcdn_geo::Locode,
+    ) -> Option<MemoScope> {
+        MemoScope::for_query(self.meta_of(&scratch.overlay, id).scope, locode)
     }
 
     /// The namespace this was compiled from.
@@ -531,6 +562,51 @@ impl ITrace {
     }
 }
 
+/// What the most recent resolution *depended on* and *did to the cache* —
+/// the scalar summary the incremental engine turns into a reuse slot.
+/// Maintained by every resolve call as plain scalar updates (no
+/// allocation, no branching beyond what the resolver already does), so
+/// recording is always on.
+#[derive(Debug, Clone, Copy)]
+pub struct DepRecord {
+    /// Union of the declared [`PolicyDeps`] of every authoritatively
+    /// answered (non-cache) step. Cache hits contribute nothing: a cached
+    /// answer is served as stored regardless of what changed upstream.
+    pub deps: PolicyDeps,
+    /// Earliest absolute expiry among the cache entries that served hit
+    /// steps, or `None` if no step hit. Replaying at `t' >=` this instant
+    /// would turn a recorded hit into a miss.
+    pub min_hit_expiry: Option<SimTime>,
+    /// Largest effective entry TTL among this resolution's cache stores
+    /// (min record TTL clamped to [`MAX_CACHE_TTL`]; [`NEGATIVE_TTL`] for
+    /// empty answers). Replaying before every stored entry has expired
+    /// would turn a recorded miss into a hit.
+    pub max_put_ttl: u32,
+}
+
+impl Default for DepRecord {
+    fn default() -> DepRecord {
+        DepRecord { deps: PolicyDeps::none(), min_hit_expiry: None, max_put_ttl: 0 }
+    }
+}
+
+impl DepRecord {
+    fn reset(&mut self) {
+        *self = DepRecord::default();
+    }
+
+    fn note_hit(&mut self, expires: SimTime) {
+        self.min_hit_expiry = Some(match self.min_hit_expiry {
+            Some(e) if e <= expires => e,
+            _ => expires,
+        });
+    }
+
+    fn note_put(&mut self, ttl: u32) {
+        self.max_put_ttl = self.max_put_ttl.max(ttl);
+    }
+}
+
 /// Caller-owned scratch state for interned resolution: the answer
 /// buffer, the trace arena, and the overlay interner. One per shard,
 /// reused across every probe and round — this is what makes the
@@ -540,6 +616,7 @@ pub struct ResolveScratch {
     overlay: Overlay,
     answer: Vec<IRecord>,
     trace: ITrace,
+    deps: DepRecord,
 }
 
 impl ResolveScratch {
@@ -551,6 +628,11 @@ impl ResolveScratch {
     /// The trace of the most recent resolution.
     pub fn trace(&self) -> &ITrace {
         &self.trace
+    }
+
+    /// The dependency/cache-effect summary of the most recent resolution.
+    pub fn dep_record(&self) -> DepRecord {
+        self.deps
     }
 
     /// The overlay interner (names outside the compiled table).
@@ -571,15 +653,23 @@ struct IEntry {
 /// warm cache neither allocates nor frees.
 #[derive(Debug, Clone, Default)]
 pub struct ICache {
-    entries: HashMap<(u32, u16), IEntry>,
+    entries: HashMap<(u32, u16), IEntry, FnvBuildHasher>,
     hits: u64,
     misses: u64,
 }
 
 impl ICache {
     /// Looks up `id`/`qtype` at `now`, writing the records (TTLs clamped
-    /// to the remaining lifetime) into `out` on a hit.
-    fn get_into(&mut self, id: NameId, qtype: u16, now: SimTime, out: &mut Vec<IRecord>) -> bool {
+    /// to the remaining lifetime) into `out` on a hit. Returns the
+    /// serving entry's absolute expiry on a hit (the instant this lookup
+    /// would flip to a miss).
+    fn get_into(
+        &mut self,
+        id: NameId,
+        qtype: u16,
+        now: SimTime,
+        out: &mut Vec<IRecord>,
+    ) -> Option<SimTime> {
         let key = (id.0, qtype);
         match self.entries.get(&key) {
             Some(e) if now < e.expires => {
@@ -587,17 +677,20 @@ impl ICache {
                 let remaining = e.expires.since(now).as_secs() as u32;
                 out.clear();
                 out.extend(e.records.iter().map(|r| IRecord { ttl: r.ttl.min(remaining), ..*r }));
-                true
+                Some(e.expires)
             }
             _ => {
                 self.misses += 1;
                 self.entries.remove(&key);
-                false
+                None
             }
         }
     }
 
-    fn put(&mut self, id: NameId, qtype: u16, records: &[IRecord], now: SimTime) {
+    /// Stores an answer, returning the entry's effective TTL (the min
+    /// clamped record TTL; [`NEGATIVE_TTL`] for empty answers) — the
+    /// seconds until a lookup of this key flips back to a miss.
+    fn put(&mut self, id: NameId, qtype: u16, records: &[IRecord], now: SimTime) -> u32 {
         // Same MAX_CACHE_TTL clamp as the string cache: inflated TTLs are
         // capped on the way in, so they cannot pin entries past the ceiling.
         let ttl =
@@ -621,6 +714,7 @@ impl ICache {
                 });
             }
         }
+        ttl
     }
 
     /// `(hits, misses)` counters, mirroring
@@ -660,7 +754,7 @@ struct IMemoEntry {
 /// from the string path.
 #[derive(Debug, Default)]
 pub struct IRoundMemo {
-    entries: HashMap<IMemoKey, IMemoEntry>,
+    entries: HashMap<IMemoKey, IMemoEntry, FnvBuildHasher>,
     arena: Vec<IRecord>,
 }
 
@@ -900,15 +994,20 @@ impl InternedResolver {
         mut memo: Option<&mut IRoundMemo>,
     ) -> Result<(), IResolutionError> {
         scratch.trace.clear();
+        scratch.deps.reset();
         let mut current = qname;
         for _ in 0..MAX_CHAIN {
             let from_cache;
             let mut zone = None;
-            if self.cache.get_into(current, qtype.to_u16(), ctx.now, &mut scratch.answer) {
+            if let Some(expires) =
+                self.cache.get_into(current, qtype.to_u16(), ctx.now, &mut scratch.answer)
+            {
                 from_cache = true;
+                scratch.deps.note_hit(expires);
             } else {
                 from_cache = false;
                 let meta = ns.meta_of(&scratch.overlay, current);
+                scratch.deps.deps = scratch.deps.deps.union(meta.deps);
                 let mut tamper = None;
                 if let Some(zi) = meta.authority {
                     let zorigin = ns.zones[zi as usize].origin;
@@ -945,7 +1044,9 @@ impl InternedResolver {
                 }
                 match replayed {
                     Some(z) => {
-                        self.cache.put(current, qtype.to_u16(), &scratch.answer, ctx.now);
+                        let ttl =
+                            self.cache.put(current, qtype.to_u16(), &scratch.answer, ctx.now);
+                        scratch.deps.note_put(ttl);
                         zone = z;
                     }
                     None => {
@@ -976,7 +1077,10 @@ impl InternedResolver {
                                             .retain(|r| ns.name_of(ov, r.name).is_within(origin_name));
                                     }
                                 }
-                                self.cache.put(current, qtype.to_u16(), &scratch.answer, ctx.now);
+                                let ttl = self
+                                    .cache
+                                    .put(current, qtype.to_u16(), &scratch.answer, ctx.now);
+                                scratch.deps.note_put(ttl);
                                 if let (Some(m), Some(key)) = (memo.as_deref_mut(), memo_key) {
                                     m.store(key, &scratch.answer, z);
                                 }
@@ -984,7 +1088,8 @@ impl InternedResolver {
                             }
                             IAnswer::NoData => {
                                 scratch.answer.clear();
-                                self.cache.put(current, qtype.to_u16(), &[], ctx.now);
+                                let ttl = self.cache.put(current, qtype.to_u16(), &[], ctx.now);
+                                scratch.deps.note_put(ttl);
                                 if let (Some(m), Some(key)) = (memo.as_deref_mut(), memo_key) {
                                     m.store(key, &[], z);
                                 }
@@ -1020,6 +1125,22 @@ impl InternedResolver {
     /// Resolver cache statistics `(hits, misses)`.
     pub fn cache_stats(&self) -> (u64, u64) {
         self.cache.stats()
+    }
+
+    /// Stores one answer directly, with exactly the semantics of the
+    /// store a resolution performs on a cache miss (min-TTL/negative-TTL
+    /// expiry, MAX_CACHE_TTL clamp, buffer reuse). The incremental engine
+    /// uses this to re-apply a replayed resolution's cache effects at the
+    /// new round time without running the resolver.
+    pub fn cache_put(&mut self, id: NameId, qtype: u16, records: &[IRecord], now: SimTime) -> u32 {
+        self.cache.put(id, qtype, records, now)
+    }
+
+    /// Advances the hit/miss counters by the given deltas — the
+    /// accounting a replayed resolution would have produced had it run.
+    pub fn cache_add_stats(&mut self, hits: u64, misses: u64) {
+        self.cache.hits += hits;
+        self.cache.misses += misses;
     }
 
     /// Drops all cached entries (counters survive), mirroring
@@ -1494,6 +1615,43 @@ mod tests {
         assert_eq!(m.len(), 0);
         assert_eq!(m.lookups(), 0);
         assert!(m.is_empty());
+    }
+
+    /// The dep record underpinning cross-round reuse: deps stay empty on
+    /// an all-static chain, stores report the *effective* (7-day-clamped)
+    /// TTL, and hits report the earliest absolute expiry — the exact
+    /// bounds the incremental engine replays against.
+    #[test]
+    fn dep_record_tracks_ttl_geometry_with_seven_day_clamp() {
+        let mut ns = Namespace::new();
+        let mut z = Zone::new(n("apple.com"));
+        z.add_cname("dl.apple.com", "pin.apple.com", 21600);
+        // Nominal 60-day TTL: the cache must clamp the entry (and the
+        // dep record must report the clamped lifetime, or a reuse slot
+        // would sleep through the forced 7-day re-resolution).
+        z.add_a("pin.apple.com", Ipv4Addr::new(17, 9, 9, 9), 60 * 86_400);
+        ns.add_zone(z);
+        let cns = CompiledNamespace::compile(&ns);
+        let mut scratch = ResolveScratch::new();
+        let mut r = InternedResolver::new();
+        let t0 = SimTime::from_ymd(2017, 9, 18);
+        let id = cns.intern_in(&mut scratch, &n("dl.apple.com"));
+        let c0 = ctx(1, "deber", Continent::Europe, t0);
+        r.resolve(&cns, &mut scratch, id, RecordType::A, &c0, &NoInternedFaults, 0, None)
+            .unwrap();
+        let dep = scratch.dep_record();
+        assert!(dep.deps.is_none(), "static chain must declare no policy deps");
+        assert_eq!(dep.min_hit_expiry, None, "cold resolution hits nothing");
+        assert_eq!(dep.max_put_ttl, crate::MAX_CACHE_TTL);
+        // Warm re-resolution inside every TTL: both steps hit, nothing is
+        // stored, and the binding expiry is the shorter CNAME's.
+        let t1 = t0 + Duration::secs(600);
+        let c1 = ctx(1, "deber", Continent::Europe, t1);
+        r.resolve(&cns, &mut scratch, id, RecordType::A, &c1, &NoInternedFaults, 0, None)
+            .unwrap();
+        let dep = scratch.dep_record();
+        assert_eq!(dep.max_put_ttl, 0);
+        assert_eq!(dep.min_hit_expiry, Some(t0 + Duration::secs(21600)));
     }
 
     #[test]

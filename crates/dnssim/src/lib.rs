@@ -46,8 +46,8 @@ pub use cache::{Cache, CacheRank, MAX_CACHE_TTL};
 pub use context::QueryContext;
 pub use faults::{FaultModel, NoFaults, UpstreamFault};
 pub use interned::{
-    CompiledNamespace, ICacheExportEntry, IRData, IRecord, IResolutionError, IRoundMemo, ITrace,
-    ITraceStep, InternedFaultModel, InternedResolver, NoInternedFaults, ResolveScratch,
+    CompiledNamespace, DepRecord, ICacheExportEntry, IRData, IRecord, IResolutionError, IRoundMemo,
+    ITrace, ITraceStep, InternedFaultModel, InternedResolver, NoInternedFaults, ResolveScratch,
 };
 pub use iterative::{IterativeResolver, IterativeOutcome};
 pub use memo::{MemoKey, MemoScope, RoundMemo};
@@ -57,4 +57,4 @@ pub use mutation::{
 };
 pub use resolver::{RecursiveResolver, ResolutionError, ResolutionTrace, TraceStep};
 pub use wire::serve;
-pub use zone::{MappingPolicy, Namespace, PolicyScope, Zone, ZoneAnswer};
+pub use zone::{MappingPolicy, Namespace, PolicyDeps, PolicyScope, Zone, ZoneAnswer};

@@ -41,7 +41,7 @@ impl NameId {
 /// rendering, precomputed once at intern time (see module docs).
 #[derive(Debug, Clone, Default)]
 pub struct NameTable {
-    ids: HashMap<Name, NameId>,
+    ids: HashMap<Name, NameId, FnvBuildHasher>,
     names: Vec<Name>,
     fnvs: Vec<u64>,
 }
@@ -109,6 +109,52 @@ pub fn display_fnv(name: &Name) -> u64 {
     let mut h = Fnv64::new();
     let _ = write!(h, "{name}");
     h.finish()
+}
+
+/// A deterministic, allocation-free [`std::hash::Hasher`] for the hot-path
+/// hash maps (resolver cache, round memo, compiled-zone lookup tables).
+///
+/// The std `RandomState` hasher re-seeds per process — harmless for
+/// correctness (every output that leaves a map is canonicalized first) but
+/// needlessly slow for the 6–16-byte keys the resolution loop hashes
+/// millions of times. This is FNV-1a over the written bytes with an
+/// avalanche finalizer, so the low bits `HashMap` selects buckets from are
+/// well mixed even for dense integer keys.
+#[derive(Debug, Clone, Copy)]
+pub struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        // splitmix64-style finalizer: FNV-1a's low bits mix poorly on
+        // short integer keys, and HashMap buckets by the low bits.
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FnvHasher`]; zero-sized and
+/// `Default`, so `HashMap<K, V, FnvBuildHasher>` works with
+/// `HashMap::default()`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FnvBuildHasher;
+
+impl std::hash::BuildHasher for FnvBuildHasher {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,296 @@
+//! Cross-round incremental resolution: dependency-versioned reuse slots.
+//!
+//! A probe's measurement is a pure function of what it can observe: the
+//! compiled namespace, the mapping policies' inputs (controller state,
+//! weight schedule, query time), the fault/mutation draws, and its own
+//! resolver cache. The campaign engine gives every one of those inputs a
+//! monotonic version — the [`CompiledNamespace`] compile id, the
+//! [`MetaCdnState`](metacdn::MetaCdnState) signal version, the weight-
+//! schedule epoch, and the [`FaultProfile`](mcdn_faults::FaultProfile)
+//! reuse digest — and each resolved probe stores its outcome in a
+//! [`ReuseSlot`] alongside the version vector it depended on plus the
+//! TTL geometry of its cache interactions. At the next round, a slot
+//! whose versions still match and whose TTL clocks say the cache would
+//! behave identically is **replayed**: the recorded cache stores are
+//! re-applied at the new instant, the recorded classifications are
+//! re-emitted, and the resolver is never entered.
+//!
+//! Replay is only legal when it is *provably bit-identical* to a full
+//! recomputation; [`ReuseSlot::is_valid`] encodes the proof obligations:
+//!
+//! * **Versions** — equal compile id and fault digest always; equal
+//!   state version / schedule epoch only when the resolution's policy
+//!   chain declared the corresponding [`PolicyDeps`] (a chain of static
+//!   records and pure geo policies is immune to controller churn). A
+//!   chain that declared [`PolicyDeps::TIME`] is never stored at all.
+//! * **Hits stay hits** — every replay instant must precede the earliest
+//!   absolute expiry among the entries that served cache hits
+//!   (`min_hit_expiry`). Replay never re-stores hit entries, so the bound
+//!   stays valid across repeated replays.
+//! * **Misses stay misses** — every entry the resolution stored must
+//!   have expired again by the replay instant (`last_applied +
+//!   max_put_ttl`), otherwise the re-resolution being imitated would have
+//!   hit where the recording missed. Re-applying the stores at the replay
+//!   instant advances the TTL clocks arithmetically, so the *next* replay
+//!   is checked against the shifted expiries — cache-expiry boundaries
+//!   invalidate exactly on time, never early, never late.
+//!
+//! The slot also carries everything a replay must reproduce: the cache
+//! stores (exact records; [`ICache`](mcdn_dnssim::InternedResolver)
+//! semantics re-clamp TTLs identically on the way in), the hit/miss
+//! counter deltas, the per-round memo contributions (re-timed to the
+//! replay instant, matching the memo's airtight time-keyed identity),
+//! and the classified addresses. Slots live only in engine memory: a
+//! resumed campaign starts with empty slots and recomputes, which is
+//! output-identical by the same invariant that makes replay legal.
+
+use crate::classes::CdnClass;
+use mcdn_dnssim::{
+    CompiledNamespace, DepRecord, IRecord, ITrace, MemoScope, PolicyDeps, ResolveScratch,
+};
+use mcdn_dnswire::RecordType;
+use mcdn_geo::{Duration, Locode, SimTime};
+use mcdn_intern::NameId;
+use std::net::Ipv4Addr;
+
+/// The monotonic versions of every mutable input a resolution can
+/// observe, sampled once per campaign round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReuseVersions {
+    /// [`CompiledNamespace::compile_id`] — bumps on every compile, so a
+    /// recompiled (even identical) namespace invalidates conservatively.
+    pub compile_id: u64,
+    /// [`FaultProfile::reuse_digest`](mcdn_faults::FaultProfile::reuse_digest)
+    /// at the round instant: the profile digest while quiet, folded with
+    /// the time bucket while any fault or mutation window is active — so
+    /// an active adversary invalidates every round.
+    pub fault_digest: u64,
+    /// [`MetaCdnState`](metacdn::MetaCdnState) signal version; checked
+    /// only for chains that declared [`PolicyDeps::STATE`].
+    pub state_version: u64,
+    /// Weight-schedule epoch (count of elapsed breakpoints); checked only
+    /// for chains that declared [`PolicyDeps::SCHEDULE`].
+    pub schedule_epoch: u64,
+}
+
+/// One recorded cache store: the key and the exact records the
+/// resolution stored (pre-clamp — [`put`](mcdn_dnssim::InternedResolver)
+/// re-applies the TTL clamps identically).
+#[derive(Debug, Clone)]
+pub struct RecordedPut {
+    /// Interned owner name.
+    pub id: NameId,
+    /// Record type, wire value.
+    pub qtype: u16,
+    /// The stored records; empty for a negative (NoData) store.
+    pub records: Vec<IRecord>,
+}
+
+/// One probe's reusable resolution: the outcome, the version vector it
+/// depended on, and everything a bit-identical replay must re-apply.
+#[derive(Debug, Clone)]
+pub struct ReuseSlot {
+    versions: ReuseVersions,
+    deps: PolicyDeps,
+    min_hit_expiry: Option<SimTime>,
+    max_put_ttl: u32,
+    last_applied: SimTime,
+    hits: u64,
+    misses: u64,
+    puts: Vec<RecordedPut>,
+    memo_keys: Vec<(NameId, RecordType, MemoScope)>,
+    outcomes: Vec<(Ipv4Addr, CdnClass)>,
+}
+
+impl ReuseSlot {
+    /// Builds a slot from a completed resolution, or `None` when the
+    /// resolution is not replayable: it failed, it needed retries (later
+    /// attempts resolve at backoff-shifted instants), or its policy chain
+    /// declared [`PolicyDeps::TIME`] (genuinely time-varying answers).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        trace: &ITrace,
+        dep: DepRecord,
+        cns: &CompiledNamespace<'_>,
+        scratch: &ResolveScratch,
+        locode: Locode,
+        outcomes: &[(Ipv4Addr, CdnClass)],
+        t: SimTime,
+        versions: ReuseVersions,
+    ) -> Option<ReuseSlot> {
+        if dep.deps.contains(PolicyDeps::TIME) {
+            return None;
+        }
+        let mut puts = Vec::new();
+        let mut memo_keys = Vec::new();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for step in trace.steps() {
+            if step.from_cache {
+                // Hit steps contribute no store and no memo entry; their
+                // clamped trace TTLs feed nothing downstream.
+                hits += 1;
+                continue;
+            }
+            misses += 1;
+            puts.push(RecordedPut {
+                id: step.qname,
+                qtype: step.qtype.to_u16(),
+                records: trace.records_of(step).to_vec(),
+            });
+            if let Some(scope) = cns.memo_scope_in(scratch, step.qname, locode) {
+                memo_keys.push((step.qname, step.qtype, scope));
+            }
+        }
+        Some(ReuseSlot {
+            versions,
+            deps: dep.deps,
+            min_hit_expiry: dep.min_hit_expiry,
+            max_put_ttl: dep.max_put_ttl,
+            last_applied: t,
+            hits,
+            misses,
+            puts,
+            memo_keys,
+            outcomes: outcomes.to_vec(),
+        })
+    }
+
+    /// Whether replaying this slot at `t` is bit-identical to a full
+    /// re-resolution under the round versions `v`. See the module docs
+    /// for why each clause is necessary and, together, sufficient.
+    pub fn is_valid(&self, t: SimTime, v: &ReuseVersions) -> bool {
+        self.versions.compile_id == v.compile_id
+            && self.versions.fault_digest == v.fault_digest
+            && (!self.deps.contains(PolicyDeps::STATE)
+                || self.versions.state_version == v.state_version)
+            && (!self.deps.contains(PolicyDeps::SCHEDULE)
+                || self.versions.schedule_epoch == v.schedule_epoch)
+            && self.min_hit_expiry.is_none_or(|e| t < e)
+            && t >= self.last_applied + Duration::secs(self.max_put_ttl as u64)
+    }
+
+    /// The recorded cache stores, in resolution order.
+    pub fn puts(&self) -> &[RecordedPut] {
+        &self.puts
+    }
+
+    /// Cache `(hits, misses)` counter deltas of one application.
+    pub fn cache_deltas(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// The memoizable questions this resolution asked (scope resolved at
+    /// record time; the compile-id check guarantees it is still current).
+    pub fn memo_keys(&self) -> &[(NameId, RecordType, MemoScope)] {
+        &self.memo_keys
+    }
+
+    /// The classified addresses the resolution observed.
+    pub fn outcomes(&self) -> &[(Ipv4Addr, CdnClass)] {
+        &self.outcomes
+    }
+
+    /// Notes that the slot's stores were re-applied at `t`, advancing the
+    /// miss-side TTL clock for the next validity check.
+    pub fn mark_applied(&mut self, t: SimTime) {
+        self.last_applied = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdn_dnssim::MAX_CACHE_TTL;
+
+    fn versions() -> ReuseVersions {
+        ReuseVersions { compile_id: 7, fault_digest: 11, state_version: 13, schedule_epoch: 17 }
+    }
+
+    fn slot(deps: PolicyDeps, min_hit_expiry: Option<SimTime>, max_put_ttl: u32) -> ReuseSlot {
+        ReuseSlot {
+            versions: versions(),
+            deps,
+            min_hit_expiry,
+            max_put_ttl,
+            last_applied: SimTime::from_ymd(2017, 9, 18),
+            hits: 1,
+            misses: 2,
+            puts: Vec::new(),
+            memo_keys: Vec::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn version_mismatches_invalidate() {
+        let t = SimTime::from_ymd(2017, 9, 19);
+        let s = slot(PolicyDeps::none(), None, 0);
+        assert!(s.is_valid(t, &versions()));
+        for (i, v) in [
+            ReuseVersions { compile_id: 8, ..versions() },
+            ReuseVersions { fault_digest: 12, ..versions() },
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert!(!s.is_valid(t, v), "mismatch case {i} must invalidate");
+        }
+        // State/schedule versions only matter when the chain depends on
+        // them: a pure chain shrugs off controller churn …
+        let churned =
+            ReuseVersions { state_version: 99, schedule_epoch: 99, ..versions() };
+        assert!(s.is_valid(t, &churned));
+        // … while declared dependents invalidate on exactly their input.
+        let state_dep = slot(PolicyDeps::STATE, None, 0);
+        assert!(!state_dep.is_valid(t, &ReuseVersions { state_version: 99, ..versions() }));
+        assert!(state_dep.is_valid(t, &ReuseVersions { schedule_epoch: 99, ..versions() }));
+        let sched_dep = slot(PolicyDeps::SCHEDULE, None, 0);
+        assert!(!sched_dep.is_valid(t, &ReuseVersions { schedule_epoch: 99, ..versions() }));
+        assert!(sched_dep.is_valid(t, &ReuseVersions { state_version: 99, ..versions() }));
+    }
+
+    #[test]
+    fn hit_expiry_bounds_replay_exclusively() {
+        let t0 = SimTime::from_ymd(2017, 9, 18);
+        let expiry = t0 + Duration::secs(21600);
+        let s = slot(PolicyDeps::none(), Some(expiry), 0);
+        // Valid strictly before the earliest hit entry expires …
+        assert!(s.is_valid(expiry - Duration::secs(1), &versions()));
+        // … and invalid at the expiry instant itself (the cache serves
+        // hits only while `now < expires`, so the boundary re-resolves).
+        assert!(!s.is_valid(expiry, &versions()));
+        assert!(!s.is_valid(expiry + Duration::secs(1), &versions()));
+    }
+
+    #[test]
+    fn put_ttls_gate_replay_inclusively() {
+        let t0 = SimTime::from_ymd(2017, 9, 18);
+        let mut s = slot(PolicyDeps::none(), None, 120);
+        // Invalid while any stored entry is still live (a re-resolution
+        // would hit where the recording missed) …
+        assert!(!s.is_valid(t0 + Duration::secs(119), &versions()));
+        // … valid at the exact instant the last store expires (the cache
+        // misses at `now == expires`).
+        assert!(s.is_valid(t0 + Duration::secs(120), &versions()));
+        // Applying advances the clock: the same slot replayed at t1 is
+        // gated against t1, not t0.
+        let t1 = t0 + Duration::secs(1800);
+        s.mark_applied(t1);
+        assert!(!s.is_valid(t1 + Duration::secs(119), &versions()));
+        assert!(s.is_valid(t1 + Duration::secs(120), &versions()));
+    }
+
+    #[test]
+    fn seven_day_clamp_bounds_the_longest_reuse_gap() {
+        // A store whose records carried a longer-than-7-day TTL was
+        // clamped to MAX_CACHE_TTL on the way into the cache, and the
+        // resolver reports the *effective* TTL — so the slot re-resolves
+        // exactly at the 7-day boundary, not at the nominal TTL.
+        let t0 = SimTime::from_ymd(2017, 9, 18);
+        let s = slot(PolicyDeps::none(), None, MAX_CACHE_TTL);
+        let boundary = t0 + Duration::secs(MAX_CACHE_TTL as u64);
+        assert!(!s.is_valid(boundary - Duration::secs(1), &versions()));
+        assert!(s.is_valid(boundary, &versions()));
+    }
+}

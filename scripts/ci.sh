@@ -51,6 +51,20 @@ echo "    $(grep -m1 'iterations=' "$tmpdir/fuzz1.txt" | sed 's/fuzzwire: //')"
 echo "==> adversarial bit-identity: resume + enforcement under every mutation profile"
 cargo test --release -q --test adversarial
 
+echo "==> incremental reuse: replay output vs full recompute, byte-identical"
+# The cross-round reuse engine is on by default; MCDN_NO_REUSE=1 forces
+# the full-recompute control arm. The quiet campaign, the chaos grid, and
+# the poisoning grid must all byte-match their reuse-enabled runs above
+# (run1.txt / chaos1.txt / poison1.txt).
+MCDN_NO_REUSE=1 cargo run --release -q -p mcdn-analysis --bin mcdn -- \
+  campaign global > "$tmpdir/noreuse.txt"
+diff -u "$tmpdir/run1.txt" "$tmpdir/noreuse.txt"
+MCDN_NO_REUSE=1 cargo run --release -q --example chaos_sweep > "$tmpdir/chaos_noreuse.txt"
+diff -u "$tmpdir/chaos1.txt" "$tmpdir/chaos_noreuse.txt"
+MCDN_NO_REUSE=1 cargo run --release -q --example poison_sweep > "$tmpdir/poison_noreuse.txt"
+diff -u "$tmpdir/poison1.txt" "$tmpdir/poison_noreuse.txt"
+echo "    reuse == full recompute on quiet + chaos + poisoning grids"
+
 echo "==> parallel determinism: MCDN_THREADS=1 vs MCDN_THREADS=4"
 MCDN_THREADS=1 cargo run --release -q -p mcdn-analysis --bin mcdn -- campaign global > "$tmpdir/t1.txt"
 MCDN_THREADS=4 cargo run --release -q -p mcdn-analysis --bin mcdn -- campaign global > "$tmpdir/t4.txt"
@@ -58,7 +72,9 @@ diff -u "$tmpdir/t1.txt" "$tmpdir/t4.txt"
 echo "    identical ($(wc -l < "$tmpdir/t1.txt") lines)"
 
 echo "==> crash recovery: SIGKILL mid-campaign, resume, byte-diff vs uninterrupted"
-# run1.txt above is the uninterrupted campaign. Journal a run, let it
+# run1.txt above is the uninterrupted campaign (reuse enabled — the
+# default — so this also proves a resumed run, whose reuse slots start
+# empty, byte-matches one that replayed). Journal a run, let it
 # self-SIGKILL after round 3 with its checkpoint durable, then resume from
 # the journal; the resumed run's full output must be byte-identical.
 journal="$tmpdir/campaign.journal"
@@ -86,7 +102,7 @@ if ! scripts/bench.sh --smoke "$tmpdir/BENCH_campaigns.json" > /dev/null; then
   echo "    gate failed once; retrying (single-core scheduler jitter tolerance)"
   scripts/bench.sh --smoke "$tmpdir/BENCH_campaigns.json" > /dev/null
 fi
-grep -q '"schema": "mcdn-bench-campaigns-v5"' "$tmpdir/BENCH_campaigns.json"
+grep -q '"schema": "mcdn-bench-campaigns-v6"' "$tmpdir/BENCH_campaigns.json"
 grep -q '"identical_across_threads": true' "$tmpdir/BENCH_campaigns.json"
 if grep -q '"identical_across_threads": false' "$tmpdir/BENCH_campaigns.json"; then
   echo "    FAIL: some campaign diverged across thread counts"; exit 1
@@ -94,7 +110,8 @@ fi
 for field in thread_counts memo_hit_rate wall_ms shard_walls p50_ms p90_ms max_ms \
              dispatch_overhead_ms speedup_vs_serial speedup_gate dispatch_microbench \
              scoped_over_pool traffic_batch_ticks available_parallelism \
-             checkpoint_overhead_pct; do
+             checkpoint_overhead_pct raw_overhead_pct noise_floor \
+             reuse_rate reused_resolutions reuse_gate ratio_vs_v5; do
   grep -q "\"$field\"" "$tmpdir/BENCH_campaigns.json" || {
     echo "    FAIL: missing field $field"; exit 1; }
 done
