@@ -7,6 +7,8 @@
 //! mcdn campaign global|isp [--paper] [--journal F] run a DNS campaign, print summaries
 //!                                                  (--journal: checkpoint to F and resume
 //!                                                   from it after a crash)
+//!                          [--metrics F]           export the campaign's metrics snapshot
+//!                                                  as self-describing JSON lines to F
 //! mcdn traffic [--paper]                           run border telemetry, print Figures 7/8
 //! mcdn zones                                       dump the mapping zones as zone files
 //! ```
@@ -15,16 +17,16 @@
 
 use mcdn_analysis::{fig2, fig3, fig4, fig5, fig7, fig8, table1};
 use mcdn_scenario::{
-    loads, params, run_global_dns, run_global_dns_resumable_with, run_isp_dns,
-    run_isp_dns_resumable_with, run_isp_traffic, CampaignRun, DnsCampaignResult, ResumeOptions,
-    ScenarioConfig, World,
+    loads, params, run_global_dns, run_global_dns_observed, run_global_dns_resumable_with_observed,
+    run_isp_dns, run_isp_dns_observed, run_isp_dns_resumable_with_observed, run_isp_traffic,
+    CampaignRun, DnsCampaignResult, ResumeOptions, ScenarioConfig, World,
 };
 use mcdn_geo::{Locode, Registry, SimTime};
 
 fn usage() -> ! {
     eprintln!(
         "usage: mcdn <resolve CITY [--at 'YYYY-MM-DD HH:MM'] | crawl | scan | \
-campaign global|isp [--paper] [--journal FILE] | traffic [--paper] | zones>"
+campaign global|isp [--paper] [--journal FILE] [--metrics FILE] | traffic [--paper] | zones>"
     );
     std::process::exit(2);
 }
@@ -110,7 +112,16 @@ fn cmd_scan() {
 
 /// `--journal FILE`, if present.
 fn journal_arg(args: &[String]) -> Option<std::path::PathBuf> {
-    let i = args.iter().position(|a| a == "--journal")?;
+    path_arg(args, "--journal")
+}
+
+/// `--metrics FILE`, if present.
+fn metrics_arg(args: &[String]) -> Option<std::path::PathBuf> {
+    path_arg(args, "--metrics")
+}
+
+fn path_arg(args: &[String], flag: &str) -> Option<std::path::PathBuf> {
+    let i = args.iter().position(|a| a == flag)?;
     match args.get(i + 1) {
         Some(path) => Some(std::path::PathBuf::from(path)),
         None => usage(),
@@ -134,22 +145,27 @@ fn die_hard() -> ! {
 /// Runs the selected campaign, journaled (`--journal`) or plain. A
 /// journaled run that suspends under `MCDN_KILL_AFTER_ROUND` self-kills
 /// after its checkpoint is durable and never returns.
-fn run_selected_campaign(which: &str, world: &World, cfg: &ScenarioConfig, args: &[String]) -> DnsCampaignResult {
+fn run_selected_campaign(
+    which: &str,
+    world: &World,
+    cfg: &ScenarioConfig,
+    args: &[String],
+) -> (DnsCampaignResult, mcdn_obs::MetricsSnapshot) {
     let Some(path) = journal_arg(args) else {
         return match which {
-            "global" => run_global_dns(world, cfg),
-            _ => run_isp_dns(world, cfg),
+            "global" => run_global_dns_observed(world, cfg),
+            _ => run_isp_dns_observed(world, cfg),
         };
     };
     let stop_after = kill_after_round();
     let opts = ResumeOptions { threads: 0, checkpoint_every: 1, stop_after_rounds: stop_after };
     let run = match which {
-        "global" => run_global_dns_resumable_with(world, cfg, &path, opts),
-        _ => run_isp_dns_resumable_with(world, cfg, &path, opts),
+        "global" => run_global_dns_resumable_with_observed(world, cfg, &path, opts),
+        _ => run_isp_dns_resumable_with_observed(world, cfg, &path, opts),
     };
     match run {
-        Ok(CampaignRun::Complete(result)) => result,
-        Ok(CampaignRun::Suspended { rounds_done, total_rounds }) => {
+        Ok((CampaignRun::Complete(result), snapshot)) => (result, snapshot),
+        Ok((CampaignRun::Suspended { rounds_done, total_rounds }, _)) => {
             eprintln!("suspending after {rounds_done}/{total_rounds} rounds (checkpoint durable)");
             die_hard();
         }
@@ -167,7 +183,13 @@ fn cmd_campaign(args: &[String]) {
     }
     let cfg = cfg_from(args);
     let world = World::build(&cfg);
-    let result = run_selected_campaign(which, &world, &cfg, args);
+    let (result, metrics) = run_selected_campaign(which, &world, &cfg, args);
+    if let Some(path) = metrics_arg(args) {
+        if let Err(e) = std::fs::write(&path, metrics.jsonl()) {
+            eprintln!("cannot write metrics to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
     println!("{} resolutions", result.resolutions);
     match which {
         "global" => {

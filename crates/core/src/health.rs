@@ -92,6 +92,7 @@ impl HealthTracker {
             if !self.up && self.consec_ok >= params.restore_after.max(1) {
                 self.up = true;
                 self.transitions += 1;
+                mcdn_obs::record(mcdn_obs::id::HEALTH_RESTORATIONS, 1);
                 return Some(HealthTransition::Restored);
             }
         } else {
@@ -100,6 +101,7 @@ impl HealthTracker {
             if self.up && self.consec_fail >= params.eject_after.max(1) {
                 self.up = false;
                 self.transitions += 1;
+                mcdn_obs::record(mcdn_obs::id::HEALTH_EJECTIONS, 1);
                 return Some(HealthTransition::Ejected);
             }
         }

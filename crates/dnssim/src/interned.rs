@@ -674,6 +674,7 @@ impl ICache {
         match self.entries.get(&key) {
             Some(e) if now < e.expires => {
                 self.hits += 1;
+                mcdn_obs::record(mcdn_obs::id::CACHE_HITS, 1);
                 let remaining = e.expires.since(now).as_secs() as u32;
                 out.clear();
                 out.extend(e.records.iter().map(|r| IRecord { ttl: r.ttl.min(remaining), ..*r }));
@@ -681,7 +682,13 @@ impl ICache {
             }
             _ => {
                 self.misses += 1;
-                self.entries.remove(&key);
+                mcdn_obs::record(mcdn_obs::id::CACHE_MISSES, 1);
+                // Present but past expiry: the expired subclassification
+                // is process-class telemetry (a replayed reuse delta
+                // keeps its recording round's split).
+                if self.entries.remove(&key).is_some() {
+                    mcdn_obs::record(mcdn_obs::id::CACHE_EXPIRED, 1);
+                }
                 None
             }
         }
@@ -1018,14 +1025,31 @@ impl InternedResolver {
                     {
                         scratch.trace.push(current, qtype, &[], false, Some(zorigin));
                         return Err(match fault {
-                            UpstreamFault::ServFail => IResolutionError::ServFail(current),
-                            UpstreamFault::Timeout => IResolutionError::Timeout(current),
+                            UpstreamFault::ServFail => {
+                                mcdn_obs::record(mcdn_obs::id::FAULT_SERVFAIL, 1);
+                                IResolutionError::ServFail(current)
+                            }
+                            UpstreamFault::Timeout => {
+                                mcdn_obs::record(mcdn_obs::id::FAULT_TIMEOUT, 1);
+                                IResolutionError::Timeout(current)
+                            }
                         });
                     }
                     // Mutation hook after the fault hook, exactly like the
                     // string path.
                     tamper = mutations
                         .answer_mutation(zorigin, zone_fnv, current, qname_fnv, ctx, attempt);
+                    if let Some(t) = &tamper {
+                        mcdn_obs::record(
+                            match t {
+                                ITamper::SpoofA { .. } => mcdn_obs::id::TAMPER_SPOOF_A,
+                                ITamper::InjectNs { .. } => mcdn_obs::id::TAMPER_INJECT_NS,
+                                ITamper::Truncate => mcdn_obs::id::TAMPER_TRUNCATE,
+                                ITamper::InflateTtl { .. } => mcdn_obs::id::TAMPER_INFLATE_TTL,
+                            },
+                            1,
+                        );
+                    }
                     if matches!(tamper, Some(ITamper::Truncate)) {
                         scratch.trace.push(current, qtype, &[], false, Some(zorigin));
                         return Err(IResolutionError::Truncated(current));
@@ -1044,9 +1068,11 @@ impl InternedResolver {
                 }
                 match replayed {
                     Some(z) => {
+                        mcdn_obs::record(mcdn_obs::id::MEMO_REPLAYS, 1);
                         let ttl =
                             self.cache.put(current, qtype.to_u16(), &scratch.answer, ctx.now);
                         scratch.deps.note_put(ttl);
+                        mcdn_obs::record_put(ttl as u64);
                         zone = z;
                     }
                     None => {
@@ -1072,15 +1098,24 @@ impl InternedResolver {
                                     if let Some(zo) = z {
                                         let ov = &scratch.overlay;
                                         let origin_name = ns.name_of(ov, zo);
+                                        let before = scratch.answer.len();
                                         scratch
                                             .answer
                                             .retain(|r| ns.name_of(ov, r.name).is_within(origin_name));
+                                        let dropped = before - scratch.answer.len();
+                                        if dropped > 0 {
+                                            mcdn_obs::record(
+                                                mcdn_obs::id::BAILIWICK_DROPS,
+                                                dropped as u64,
+                                            );
+                                        }
                                     }
                                 }
                                 let ttl = self
                                     .cache
                                     .put(current, qtype.to_u16(), &scratch.answer, ctx.now);
                                 scratch.deps.note_put(ttl);
+                                mcdn_obs::record_put(ttl as u64);
                                 if let (Some(m), Some(key)) = (memo.as_deref_mut(), memo_key) {
                                     m.store(key, &scratch.answer, z);
                                 }
@@ -1090,6 +1125,7 @@ impl InternedResolver {
                                 scratch.answer.clear();
                                 let ttl = self.cache.put(current, qtype.to_u16(), &[], ctx.now);
                                 scratch.deps.note_put(ttl);
+                                mcdn_obs::record_put(ttl as u64);
                                 if let (Some(m), Some(key)) = (memo.as_deref_mut(), memo_key) {
                                     m.store(key, &[], z);
                                 }

@@ -234,12 +234,14 @@ where
                     }
                     Err(payload) => {
                         last_message = panic_message(payload);
+                        mcdn_obs::global_add(mcdn_obs::global::SHARD_PANICS, 1);
                         // Quarantine: throw away whatever the panicking
                         // attempt did to the shard and restore the pristine
                         // items, so a retry replays the exact same
                         // deterministic inputs.
                         if attempt + 1 < attempts {
                             shard.clone_from_slice(&pristine);
+                            mcdn_obs::global_add(mcdn_obs::global::SHARD_RESTORES, 1);
                         }
                     }
                 }
@@ -258,7 +260,10 @@ where
         for _ in 0..attempts {
             match catch_unwind(AssertUnwindSafe(|| f(index, shard))) {
                 Ok(r) => return Ok(r),
-                Err(payload) => last_message = panic_message(payload),
+                Err(payload) => {
+                    last_message = panic_message(payload);
+                    mcdn_obs::global_add(mcdn_obs::global::SHARD_PANICS, 1);
+                }
             }
         }
         Err(ShardFailure { shard: index, attempts, message: last_message })
@@ -412,6 +417,7 @@ mod pool {
                 .is_ok()
             {
                 spawn_worker(spawned);
+                mcdn_obs::gauge_set(mcdn_obs::gauge::POOL_WORKERS, (spawned + 1) as u64);
             }
         }
     }
@@ -481,7 +487,10 @@ mod pool {
         let started = Instant::now();
         let outcome = match catch_unwind(AssertUnwindSafe(|| f(shard, items))) {
             Ok(r) => Outcome::Done(r, started.elapsed()),
-            Err(payload) => Outcome::Panicked(payload),
+            Err(payload) => {
+                mcdn_obs::global_add(mcdn_obs::global::SHARD_PANICS, 1);
+                Outcome::Panicked(payload)
+            }
         };
         // SAFETY: per-shard slot invariant, see `retire`.
         unsafe { retire(job, shard, outcome) };
@@ -555,9 +564,11 @@ mod pool {
                 unsafe { run(job_ptr, shard) };
             }
         } else {
+            let dispatch_started = Instant::now();
             let pool = state();
             warm(n - 1);
             pool.dispatches.fetch_add(1, Ordering::Relaxed);
+            mcdn_obs::global_add(mcdn_obs::global::DISPATCHES, 1);
             {
                 let mut queue = pool.queue.lock().unwrap_or_else(|e| e.into_inner());
                 for shard in 1..n {
@@ -596,6 +607,10 @@ mod pool {
             while job.remaining.load(Ordering::Acquire) != 0 {
                 std::thread::park();
             }
+            mcdn_obs::global_hist(
+                mcdn_obs::ghist::DISPATCH_WALL_US,
+                dispatch_started.elapsed().as_micros() as u64,
+            );
         }
         let Job { results, .. } = job;
         results

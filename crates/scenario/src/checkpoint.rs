@@ -185,6 +185,12 @@ pub(crate) struct Checkpoint {
     pub retry_exhausted: u64,
     pub memo_lookups: u64,
     pub memo_hits: u64,
+    /// Deterministic observability counters at the checkpoint boundary
+    /// (the `mcdn_obs` det-class prefix, in registry order). Restored on
+    /// resume so a killed run exports byte-identical metrics.
+    pub obs_counters: Vec<u64>,
+    /// Campaign-level trace events accumulated so far.
+    pub obs_events: Vec<mcdn_obs::TraceEvent>,
     pub cells: Vec<((SimTime, Continent, CdnClass), Vec<Ipv4Addr>)>,
     pub ledger: Vec<(Ipv4Addr, SimTime, CdnClass)>,
     pub signals: SignalState,
@@ -218,6 +224,18 @@ impl Checkpoint {
         w.put_u64(self.retry_exhausted);
         w.put_u64(self.memo_lookups);
         w.put_u64(self.memo_hits);
+
+        w.put_u32(self.obs_counters.len() as u32);
+        for &c in &self.obs_counters {
+            w.put_u64(c);
+        }
+        w.put_u32(self.obs_events.len() as u32);
+        for ev in &self.obs_events {
+            w.put_u16(ev.kind);
+            w.put_u64(ev.t);
+            w.put_u32(ev.key);
+            w.put_u64(ev.value);
+        }
 
         w.put_u32(self.cells.len() as u32);
         for ((bin, cont, class), ips) in &self.cells {
@@ -303,6 +321,21 @@ impl Checkpoint {
         let memo_lookups = r.u64()?;
         let memo_hits = r.u64()?;
 
+        let n_obs = r.u32()? as usize;
+        let mut obs_counters = Vec::with_capacity(n_obs.min(1 << 16));
+        for _ in 0..n_obs {
+            obs_counters.push(r.u64()?);
+        }
+        let n_events = r.u32()? as usize;
+        let mut obs_events = Vec::with_capacity(n_events.min(1 << 20));
+        for _ in 0..n_events {
+            let kind = r.u16()?;
+            let t = r.u64()?;
+            let key = r.u32()?;
+            let value = r.u64()?;
+            obs_events.push(mcdn_obs::TraceEvent { kind, t, key, value });
+        }
+
         let n_cells = r.u32()? as usize;
         let mut cells = Vec::with_capacity(n_cells.min(1 << 20));
         for _ in 0..n_cells {
@@ -385,6 +418,8 @@ impl Checkpoint {
             retry_exhausted,
             memo_lookups,
             memo_hits,
+            obs_counters,
+            obs_events,
             cells,
             ledger,
             signals,
@@ -565,6 +600,11 @@ mod tests {
             retry_exhausted: 2,
             memo_lookups: 400,
             memo_hits: 350,
+            obs_counters: vec![7, 123, 150, 2, 400],
+            obs_events: vec![
+                mcdn_obs::TraceEvent { kind: 0, t: 1_000_000, key: 7, value: 123 },
+                mcdn_obs::TraceEvent { kind: 1, t: 999_500, key: 42, value: 0 },
+            ],
             cells: vec![
                 (
                     (SimTime(3600), Continent::Europe, CdnClass::Akamai),

@@ -476,6 +476,10 @@ struct ShardPartial {
     retry_exhausted: u64,
     reused: u64,
     memo_counts: HashMap<MemoKey, u64>,
+    /// The shard's drained observability sink (deterministic counters +
+    /// trace events), absorbed into the campaign accumulator in canonical
+    /// shard order so metrics are thread-count independent.
+    obs: mcdn_obs::ShardObs,
 }
 
 /// One shard's reusable working state, alive for the whole campaign: the
@@ -642,7 +646,7 @@ fn drive_campaign(
     checkpoint_every: u64,
     stop_after: Option<u64>,
     mut walls: Option<&mut Vec<std::time::Duration>>,
-) -> Result<CampaignRun, CampaignError> {
+) -> Result<(CampaignRun, mcdn_obs::MetricsSnapshot), CampaignError> {
     let world = p.world;
     let mut fleet = build_fleet(p.specs.to_vec());
     let mut agg = UniqueIpAggregator::new(p.bin);
@@ -685,6 +689,11 @@ fn drive_campaign(
     let mut rounds_done = 0u64;
     let total_rounds = p.total_rounds();
     let checkpoint_every = checkpoint_every.max(1);
+    // The campaign-level observability accumulator. `begin` clears this
+    // thread's sink (hygiene — campaigns never record into it between
+    // rounds) and snapshots the process-global counters so the final
+    // [`MetricsSnapshot`] reports per-campaign deltas for them.
+    let mut obs = mcdn_obs::CampaignObs::begin();
 
     let mut journal = match journal_path {
         Some(path) => {
@@ -710,6 +719,10 @@ fn drive_campaign(
                 retry_exhausted = ckpt.retry_exhausted;
                 memo_lookups = ckpt.memo_lookups;
                 memo_hits = ckpt.memo_hits;
+                // Deterministic (det-class) counters and trace events
+                // resume exactly; process-class counters deliberately
+                // restart at zero (they describe work this process did).
+                obs.restore(&ckpt.obs_counters, ckpt.obs_events);
                 for ((bin_start, cont, class), ips) in ckpt.cells {
                     for ip in ips {
                         agg.record(bin_start, cont, class, ip);
@@ -786,6 +799,10 @@ fn drive_campaign(
                 // restore retry must replay the panicked attempt's exact
                 // inputs.
                 memo.clear();
+                // Same hygiene for the thread-local metrics sink: a shard
+                // closure must drain exactly what *this* execution
+                // recorded, including across pristine-restore retries.
+                mcdn_obs::shard_reset();
                 slots.resize_with(shard.len(), || None);
                 let entry_id = cns.intern_in(scratch, &entry);
                 let mut partial = ShardPartial {
@@ -796,6 +813,7 @@ fn drive_campaign(
                     retry_exhausted: 0,
                     reused: 0,
                     memo_counts: HashMap::new(),
+                    obs: Default::default(),
                 };
                 for (i, probe) in shard.iter_mut().enumerate() {
                     if i == 1 && testhooks::shard_panic_fires(shard_idx) {
@@ -811,9 +829,15 @@ fn drive_campaign(
                     // reproduces the resolution bit for bit — cache
                     // stores, counters, memo contributions, classified
                     // addresses — without entering the resolver.
-                    if p.reuse
-                        && slots[i].as_ref().is_some_and(|s| s.is_valid(t, &versions))
-                    {
+                    let replayable = p.reuse
+                        && slots[i].as_ref().is_some_and(|s| s.is_valid(t, &versions));
+                    if p.reuse && !replayable && slots[i].is_some() {
+                        // A held slot whose version vector or TTL clocks no
+                        // longer match: the probe falls back to a full
+                        // recomputation this round.
+                        mcdn_obs::record(mcdn_obs::id::REUSE_INVALIDATIONS, 1);
+                    }
+                    if replayable {
                         let slot = slots[i].as_mut().expect("validated above");
                         for put in slot.puts() {
                             probe.interned_cache_put(put.id, put.qtype, &put.records, t);
@@ -839,9 +863,18 @@ fn drive_campaign(
                         partial.resolutions += 1;
                         partial.attempts += 1;
                         partial.reused += 1;
+                        // Re-apply the recorded metrics delta verbatim:
+                        // deterministic counters come out identical to the
+                        // recomputation the replay stands in for.
+                        mcdn_obs::apply_delta(slot.obs_delta());
+                        mcdn_obs::record(mcdn_obs::id::REUSE_REPLAYS, 1);
                         slot.mark_applied(t);
                         continue;
                     }
+                    // Bracket the resolution with a counter mark so a
+                    // successful single-attempt window can record its
+                    // exact metrics delta into the reuse slot below.
+                    mcdn_obs::mark();
                     let (result, outcome_attempts) = probe.measure_interned_adversarial(
                         &cns,
                         scratch,
@@ -855,8 +888,11 @@ fn drive_campaign(
                         memo,
                     );
                     partial.attempts += outcome_attempts as u64;
+                    mcdn_obs::record(mcdn_obs::id::ATTEMPTS, outcome_attempts as u64);
                     if matches!(&result, Err(e) if e.is_transient()) {
                         partial.retry_exhausted += 1;
+                        mcdn_obs::record(mcdn_obs::id::RETRY_EXHAUSTED, 1);
+                        mcdn_obs::trace(mcdn_obs::event::RETRY_EXHAUSTED, t.as_secs(), probe.id, 0);
                     }
                     let attribution = attribute_interned(scratch.trace(), &attr, &cns, scratch);
                     outcome_buf.clear();
@@ -876,6 +912,7 @@ fn drive_campaign(
                         }
                     }
                     partial.resolutions += 1;
+                    mcdn_obs::record(mcdn_obs::id::RESOLUTIONS, 1);
                     // Re-record the slot after every recomputation (and
                     // drop it when the resolution is not replayable): the
                     // slot must always describe the probe's *current*
@@ -891,13 +928,23 @@ fn drive_campaign(
                                 outcome_buf,
                                 t,
                                 versions,
+                                // Lazy: evaluated (one Vec) only for
+                                // recordable chains.
+                                mcdn_obs::delta_since_mark,
                             )
                         } else {
                             None
                         };
+                        if slots[i].is_some() {
+                            mcdn_obs::record(mcdn_obs::id::REUSE_RECORDS, 1);
+                        }
                     }
                 }
                 memo.counts_into(&cns, scratch, &mut partial.memo_counts);
+                // Drain the thread-local sink into the partial: the merge
+                // below absorbs it in canonical shard order, regardless of
+                // which worker thread happened to run this shard.
+                partial.obs = mcdn_obs::shard_take();
                 partial
             },
         )?;
@@ -912,6 +959,7 @@ fn drive_campaign(
         // both independent of how many shards actually ran.
         let mut round_counts: HashMap<MemoKey, u64> = HashMap::new();
         for partial in partials {
+            obs.absorb(partial.obs);
             agg.merge(partial.agg);
             classes.merge(partial.classes);
             resolutions += partial.resolutions;
@@ -925,10 +973,19 @@ fn drive_campaign(
         let round_lookups: u64 = round_counts.values().sum();
         memo_lookups += round_lookups;
         memo_hits += round_lookups - round_counts.len() as u64;
+        // Memo accounting is only defined post-merge (it canonicalizes
+        // across shards), so its counters are credited here rather than in
+        // the shard sinks — same values any thread count produces.
+        obs.add(mcdn_obs::id::MEMO_LOOKUPS, round_lookups);
+        obs.add(mcdn_obs::id::MEMO_HITS, round_lookups - round_counts.len() as u64);
+        obs.add(mcdn_obs::id::ROUNDS, 1);
+        obs.event(mcdn_obs::event::ROUND_COMPLETED, t.as_secs(), rounds_done as u32, resolutions);
         t += p.interval;
         rounds_done += 1;
 
-        compute_total += round_started.elapsed();
+        let round_wall = round_started.elapsed();
+        compute_total += round_wall;
+        mcdn_obs::global_hist(mcdn_obs::ghist::ROUND_WALL_US, round_wall.as_micros() as u64);
 
         let finished = t >= p.end;
         let suspending = !finished && stop_after.is_some_and(|n| rounds_done >= n);
@@ -952,6 +1009,8 @@ fn drive_campaign(
                     retry_exhausted,
                     memo_lookups,
                     memo_hits,
+                    obs_counters: obs.det_counters().to_vec(),
+                    obs_events: obs.events().to_vec(),
                     cells: agg.cells(),
                     ledger: classes.entries(),
                     signals: world.state.export_signals(),
@@ -967,35 +1026,43 @@ fn drive_campaign(
                 last_ckpt_cost = ckpt_started.elapsed();
                 ckpt_cost_total += last_ckpt_cost;
                 rounds_at_last_ckpt = rounds_done;
+                mcdn_obs::global_add(mcdn_obs::global::CHECKPOINT_WRITES, 1);
+                mcdn_obs::global_hist(
+                    mcdn_obs::ghist::CHECKPOINT_WALL_US,
+                    last_ckpt_cost.as_micros() as u64,
+                );
             }
             if suspending {
                 j.sync()?;
             }
         }
         if suspending {
-            return Ok(CampaignRun::Suspended { rounds_done, total_rounds });
+            return Ok((CampaignRun::Suspended { rounds_done, total_rounds }, obs.finish()));
         }
     }
-    Ok(CampaignRun::Complete(DnsCampaignResult {
-        unique_ips: agg,
-        ip_classes: classes.into_classes(),
-        resolutions,
-        attempts,
-        retry_exhausted,
-        memo_lookups,
-        memo_hits,
-        reused_resolutions: reused,
-    }))
+    Ok((
+        CampaignRun::Complete(DnsCampaignResult {
+            unique_ips: agg,
+            ip_classes: classes.into_classes(),
+            resolutions,
+            attempts,
+            retry_exhausted,
+            memo_lookups,
+            memo_hits,
+            reused_resolutions: reused,
+        }),
+        obs.finish(),
+    ))
 }
 
 /// Runs a campaign to completion without a journal, preserving the
 /// historical infallible contract of the classic entry points: shards are
 /// still panic-isolated and retried, but a shard that defeats its whole
 /// retry budget aborts the process here.
-fn run_to_completion(p: &CampaignParams<'_>) -> DnsCampaignResult {
+fn run_to_completion(p: &CampaignParams<'_>) -> (DnsCampaignResult, mcdn_obs::MetricsSnapshot) {
     match drive_campaign(p, None, 1, None, None) {
-        Ok(CampaignRun::Complete(result)) => result,
-        Ok(CampaignRun::Suspended { .. }) => unreachable!("no stop_after was requested"),
+        Ok((CampaignRun::Complete(result), snapshot)) => (result, snapshot),
+        Ok((CampaignRun::Suspended { .. }, _)) => unreachable!("no stop_after was requested"),
         Err(e) => panic!("campaign failed: {e}"),
     }
 }
@@ -1003,14 +1070,16 @@ fn run_to_completion(p: &CampaignParams<'_>) -> DnsCampaignResult {
 /// [`run_to_completion`] that also collects the wall-clock time of every
 /// supervised shard execution, in canonical (round-major, shard-minor)
 /// order.
-fn run_to_completion_timed(p: &CampaignParams<'_>) -> (DnsCampaignResult, Vec<std::time::Duration>) {
+fn run_to_completion_timed(
+    p: &CampaignParams<'_>,
+) -> (DnsCampaignResult, Vec<std::time::Duration>, mcdn_obs::MetricsSnapshot) {
     let mut walls = Vec::new();
-    let result = match drive_campaign(p, None, 1, None, Some(&mut walls)) {
-        Ok(CampaignRun::Complete(result)) => result,
-        Ok(CampaignRun::Suspended { .. }) => unreachable!("no stop_after was requested"),
+    let (result, snapshot) = match drive_campaign(p, None, 1, None, Some(&mut walls)) {
+        Ok((CampaignRun::Complete(result), snapshot)) => (result, snapshot),
+        Ok((CampaignRun::Suspended { .. }, _)) => unreachable!("no stop_after was requested"),
         Err(e) => panic!("campaign failed: {e}"),
     };
-    (result, walls)
+    (result, walls, snapshot)
 }
 
 /// The pre-interning string-path engine, kept verbatim as the test
@@ -1065,6 +1134,7 @@ fn run_campaign_reference(
                 retry_exhausted: 0,
                 reused: 0,
                 memo_counts: HashMap::new(),
+                obs: Default::default(),
             };
             for probe in shard.iter_mut() {
                 if !availability.is_online(probe.id, t) {
@@ -1132,12 +1202,33 @@ pub fn run_global_dns(world: &World, cfg: &ScenarioConfig) -> DnsCampaignResult 
     run_global_dns_threads(world, cfg, mcdn_exec::thread_count())
 }
 
+/// [`run_global_dns`] that also returns the campaign's
+/// [`mcdn_obs::MetricsSnapshot`] — the deterministic counter registry,
+/// trace events, and per-campaign process-global deltas.
+pub fn run_global_dns_observed(
+    world: &World,
+    cfg: &ScenarioConfig,
+) -> (DnsCampaignResult, mcdn_obs::MetricsSnapshot) {
+    run_global_dns_threads_observed(world, cfg, mcdn_exec::thread_count())
+}
+
 /// [`run_global_dns`] with an explicit worker count.
 pub fn run_global_dns_threads(
     world: &World,
     cfg: &ScenarioConfig,
     threads: usize,
 ) -> DnsCampaignResult {
+    run_global_dns_threads_observed(world, cfg, threads).0
+}
+
+/// [`run_global_dns_threads`] with the campaign's metrics snapshot. The
+/// deterministic portion of the snapshot is bit-identical for any worker
+/// count, like the result itself.
+pub fn run_global_dns_threads_observed(
+    world: &World,
+    cfg: &ScenarioConfig,
+    threads: usize,
+) -> (DnsCampaignResult, mcdn_obs::MetricsSnapshot) {
     run_to_completion(&global_params(world, cfg, threads))
 }
 
@@ -1151,6 +1242,17 @@ pub fn run_global_dns_threads_timed(
     cfg: &ScenarioConfig,
     threads: usize,
 ) -> (DnsCampaignResult, Vec<std::time::Duration>) {
+    let (result, walls, _) = run_to_completion_timed(&global_params(world, cfg, threads));
+    (result, walls)
+}
+
+/// [`run_global_dns_threads_timed`] that additionally returns the
+/// metrics snapshot — what the campaign benchmark embeds in its report.
+pub fn run_global_dns_threads_timed_observed(
+    world: &World,
+    cfg: &ScenarioConfig,
+    threads: usize,
+) -> (DnsCampaignResult, Vec<std::time::Duration>, mcdn_obs::MetricsSnapshot) {
     run_to_completion_timed(&global_params(world, cfg, threads))
 }
 
@@ -1161,6 +1263,17 @@ pub fn run_isp_dns_threads_timed(
     cfg: &ScenarioConfig,
     threads: usize,
 ) -> (DnsCampaignResult, Vec<std::time::Duration>) {
+    let (result, walls, _) = run_to_completion_timed(&isp_params(world, cfg, threads));
+    (result, walls)
+}
+
+/// [`run_isp_dns_threads_timed`] with the metrics snapshot; see
+/// [`run_global_dns_threads_timed_observed`].
+pub fn run_isp_dns_threads_timed_observed(
+    world: &World,
+    cfg: &ScenarioConfig,
+    threads: usize,
+) -> (DnsCampaignResult, Vec<std::time::Duration>, mcdn_obs::MetricsSnapshot) {
     run_to_completion_timed(&isp_params(world, cfg, threads))
 }
 
@@ -1172,12 +1285,31 @@ pub fn run_isp_dns(world: &World, cfg: &ScenarioConfig) -> DnsCampaignResult {
     run_isp_dns_threads(world, cfg, mcdn_exec::thread_count())
 }
 
+/// [`run_isp_dns`] with the campaign's metrics snapshot; see
+/// [`run_global_dns_observed`].
+pub fn run_isp_dns_observed(
+    world: &World,
+    cfg: &ScenarioConfig,
+) -> (DnsCampaignResult, mcdn_obs::MetricsSnapshot) {
+    run_isp_dns_threads_observed(world, cfg, mcdn_exec::thread_count())
+}
+
 /// [`run_isp_dns`] with an explicit worker count.
 pub fn run_isp_dns_threads(
     world: &World,
     cfg: &ScenarioConfig,
     threads: usize,
 ) -> DnsCampaignResult {
+    run_isp_dns_threads_observed(world, cfg, threads).0
+}
+
+/// [`run_isp_dns_threads`] with the campaign's metrics snapshot; see
+/// [`run_global_dns_threads_observed`].
+pub fn run_isp_dns_threads_observed(
+    world: &World,
+    cfg: &ScenarioConfig,
+    threads: usize,
+) -> (DnsCampaignResult, mcdn_obs::MetricsSnapshot) {
     run_to_completion(&isp_params(world, cfg, threads))
 }
 
@@ -1251,6 +1383,19 @@ pub fn run_global_dns_resumable_with(
     journal: &Path,
     opts: ResumeOptions,
 ) -> Result<CampaignRun, CampaignError> {
+    Ok(run_global_dns_resumable_with_observed(world, cfg, journal, opts)?.0)
+}
+
+/// [`run_global_dns_resumable_with`] that also returns the metrics
+/// snapshot. Deterministic counters and trace events survive kill→resume
+/// bit-exactly (they ride in every checkpoint); process-class counters
+/// describe only the work the final process performed.
+pub fn run_global_dns_resumable_with_observed(
+    world: &World,
+    cfg: &ScenarioConfig,
+    journal: &Path,
+    opts: ResumeOptions,
+) -> Result<(CampaignRun, mcdn_obs::MetricsSnapshot), CampaignError> {
     let p = global_params(world, cfg, resolve_threads(opts.threads));
     drive_campaign(&p, Some(journal), opts.checkpoint_every, opts.stop_after_rounds, None)
 }
@@ -1274,6 +1419,17 @@ pub fn run_isp_dns_resumable_with(
     journal: &Path,
     opts: ResumeOptions,
 ) -> Result<CampaignRun, CampaignError> {
+    Ok(run_isp_dns_resumable_with_observed(world, cfg, journal, opts)?.0)
+}
+
+/// [`run_isp_dns_resumable_with`] with the metrics snapshot; see
+/// [`run_global_dns_resumable_with_observed`].
+pub fn run_isp_dns_resumable_with_observed(
+    world: &World,
+    cfg: &ScenarioConfig,
+    journal: &Path,
+    opts: ResumeOptions,
+) -> Result<(CampaignRun, mcdn_obs::MetricsSnapshot), CampaignError> {
     let p = isp_params(world, cfg, resolve_threads(opts.threads));
     drive_campaign(&p, Some(journal), opts.checkpoint_every, opts.stop_after_rounds, None)
 }
@@ -1350,13 +1506,13 @@ mod tests {
                 cfg.global_start = SimTime::from_ymd_hms(2017, 9, 18, 12, 0, 0);
                 cfg.global_end = SimTime::from_ymd(2017, 9, 19);
                 cfg.faults = faults;
-                let full = {
+                let (full, full_obs) = {
                     let world = World::build(&cfg);
                     let mut p = global_params(&world, &cfg, threads);
                     p.reuse = false;
                     run_to_completion(&p)
                 };
-                let incremental = {
+                let (incremental, incremental_obs) = {
                     let world = World::build(&cfg);
                     let mut p = global_params(&world, &cfg, threads);
                     p.reuse = true;
@@ -1365,6 +1521,14 @@ mod tests {
                 assert_eq!(
                     incremental, full,
                     "incremental engine diverged under profile {label}, {threads} threads"
+                );
+                // The deterministic metrics export is part of the reuse
+                // contract too: replayed deltas must reproduce the exact
+                // counters a recomputation records.
+                assert_eq!(
+                    incremental_obs.det_jsonl(),
+                    full_obs.det_jsonl(),
+                    "deterministic metrics diverged under profile {label}, {threads} threads"
                 );
                 assert_eq!(full.reused_resolutions, 0);
                 assert!(full.resolutions > 0);
@@ -1387,11 +1551,46 @@ mod tests {
             let world = World::build(&cfg);
             let mut p = global_params(&world, &cfg, threads);
             p.reuse = true;
-            counts.push(run_to_completion(&p).reused_resolutions);
+            counts.push(run_to_completion(&p).0.reused_resolutions);
         }
         assert!(counts[0] > 0, "quiet steady state must replay some resolutions");
         assert_eq!(counts[0], counts[1]);
         assert_eq!(counts[0], counts[2]);
+    }
+
+    /// Pins the [`PartialEq`] contract documented on
+    /// [`DnsCampaignResult`]: `reused_resolutions` is process telemetry
+    /// (replay vs recompute), not measurement output, so two results
+    /// differing only there compare equal — while every measurement
+    /// field still participates in equality.
+    #[test]
+    fn reused_resolutions_is_excluded_from_equality() {
+        let mut cfg = ScenarioConfig::fast();
+        cfg.global_probes = 12;
+        cfg.global_dns_interval = Duration::hours(6);
+        cfg.global_start = SimTime::from_ymd_hms(2017, 9, 18, 12, 0, 0);
+        cfg.global_end = SimTime::from_ymd(2017, 9, 19);
+        let world = World::build(&cfg);
+        let (result, _) = run_to_completion(&global_params(&world, &cfg, 2));
+
+        let mut telemetry_only = result.clone();
+        telemetry_only.reused_resolutions = result.reused_resolutions + 1_000_000;
+        assert_eq!(result, telemetry_only, "reused_resolutions must not affect equality");
+
+        for mutate in [
+            (|r: &mut DnsCampaignResult| r.resolutions += 1) as fn(&mut DnsCampaignResult),
+            |r| r.attempts += 1,
+            |r| r.retry_exhausted += 1,
+            |r| r.memo_lookups += 1,
+            |r| r.memo_hits += 1,
+            |r| {
+                r.ip_classes.insert(Ipv4Addr::new(203, 0, 113, 99), CdnClass::Apple);
+            },
+        ] {
+            let mut changed = result.clone();
+            mutate(&mut changed);
+            assert_ne!(result, changed, "measurement fields must affect equality");
+        }
     }
 
     /// TTL-boundary exactness, pinned to a single special-market probe
@@ -1436,7 +1635,7 @@ mod tests {
                 threads: 1,
                 reuse,
             };
-            run_to_completion(&p)
+            run_to_completion(&p).0
         };
         let incremental = run(true);
         let full = run(false);

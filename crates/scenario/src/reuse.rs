@@ -100,6 +100,11 @@ pub struct ReuseSlot {
     puts: Vec<RecordedPut>,
     memo_keys: Vec<(NameId, RecordType, MemoScope)>,
     outcomes: Vec<(Ipv4Addr, CdnClass)>,
+    /// The observability counter delta the recording bracket captured
+    /// (cache hits/misses/puts, tamper applications, resolution and
+    /// attempt counts). A replay re-applies it verbatim so deterministic
+    /// metrics stay equal between the replay and recompute arms.
+    obs_delta: mcdn_obs::CounterDelta,
 }
 
 impl ReuseSlot {
@@ -117,6 +122,7 @@ impl ReuseSlot {
         outcomes: &[(Ipv4Addr, CdnClass)],
         t: SimTime,
         versions: ReuseVersions,
+        obs_delta: impl FnOnce() -> mcdn_obs::CounterDelta,
     ) -> Option<ReuseSlot> {
         if dep.deps.contains(PolicyDeps::TIME) {
             return None;
@@ -153,6 +159,7 @@ impl ReuseSlot {
             puts,
             memo_keys,
             outcomes: outcomes.to_vec(),
+            obs_delta: obs_delta(),
         })
     }
 
@@ -191,6 +198,12 @@ impl ReuseSlot {
         &self.outcomes
     }
 
+    /// The observability counter delta of one application, for
+    /// [`mcdn_obs::apply_delta`] on replay.
+    pub fn obs_delta(&self) -> &[(u16, u64)] {
+        &self.obs_delta
+    }
+
     /// Notes that the slot's stores were re-applied at `t`, advancing the
     /// miss-side TTL clock for the next validity check.
     pub fn mark_applied(&mut self, t: SimTime) {
@@ -219,6 +232,7 @@ mod tests {
             puts: Vec::new(),
             memo_keys: Vec::new(),
             outcomes: Vec::new(),
+            obs_delta: Vec::new(),
         }
     }
 

@@ -1,70 +1,16 @@
 //! The iOS 11 rollout through the probes' eyes: run a compact global DNS
 //! campaign around the release and watch the European unique-IP spike, the
-//! CDN selection shift, and the `a1015` event map appear.
+//! CDN selection shift, the `a1015` event map, and the campaign's
+//! deterministic metrics appear.
 //!
 //! ```sh
 //! cargo run --release --example ios_update_rollout
 //! ```
-
-use metacdn_suite::geo::{Continent, Duration, Region, SimTime};
-use metacdn_suite::build_world_or_exit;
-use metacdn_suite::scenario::{loads, params, run_global_dns, CdnClass, ScenarioConfig};
+//!
+//! The report itself lives in
+//! [`metacdn_suite::reports::ios_update_rollout_report`] so the
+//! golden-snapshot suite pins its exact output.
 
 fn main() {
-    let mut cfg = ScenarioConfig::fast();
-    cfg.global_probes = 300;
-    cfg.global_dns_interval = Duration::mins(10);
-    cfg.global_start = SimTime::from_ymd(2017, 9, 18);
-    cfg.global_end = SimTime::from_ymd(2017, 9, 21);
-    let world = build_world_or_exit(&cfg);
-    let release = params::release();
-
-    println!(
-        "running {} probes every {} min, {} → {} (release: {release})\n",
-        cfg.global_probes,
-        cfg.global_dns_interval.as_secs() / 60,
-        cfg.global_start,
-        cfg.global_end
-    );
-    let result = run_global_dns(&world, &cfg);
-    println!("{} resolutions performed\n", result.resolutions);
-
-    // Hourly EU unique-IP series, paper-figure style.
-    println!("Europe, unique cache IPs per hour (A=Apple K=Akamai K*=other-AS L=Limelight L*=other-AS):");
-    let mut t = cfg.global_start;
-    while t < cfg.global_end {
-        let count = |c: CdnClass| result.unique_ips.count(t, Continent::Europe, c);
-        let total: usize = CdnClass::ALL.iter().map(|c| count(*c)).sum();
-        let marker = if t <= release && release < t + Duration::hours(1) { "  <-- iOS 11.0" } else { "" };
-        println!(
-            "  {t}  A:{:>3} K:{:>3} K*:{:>3} L:{:>3} L*:{:>3}  total {:>4} {}{marker}",
-            count(CdnClass::Apple),
-            count(CdnClass::Akamai),
-            count(CdnClass::AkamaiOtherAs),
-            count(CdnClass::Limelight),
-            count(CdnClass::LimelightOtherAs),
-            total,
-            "#".repeat(total / 25),
-        );
-        t += Duration::hours(3);
-    }
-
-    // How the effective CDN selection shifted at the release instant.
-    println!("\neffective EU selection shares (schedule + reactive overflow):");
-    for (label, at) in [
-        ("2 days before", release - Duration::days(2)),
-        ("release + 1 h", release + Duration::hours(1)),
-        ("release + 1 day", release + Duration::days(1)),
-    ] {
-        loads::update_loads(&world, at);
-        let eff = world.state.effective_share(Region::Eu, at);
-        let fmt: Vec<String> =
-            eff.iter().map(|(k, p)| format!("{k} {:.0}%", p * 100.0)).collect();
-        println!(
-            "  {label:<16} {}   (Apple util {:.2}, a1015 {})",
-            fmt.join(", "),
-            world.state.apple_utilization(Region::Eu),
-            if world.state.a1015_active(Region::Eu, at) { "ACTIVE" } else { "off" }
-        );
-    }
+    print!("{}", metacdn_suite::reports::ios_update_rollout_report());
 }

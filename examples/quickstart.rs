@@ -4,72 +4,10 @@
 //! ```sh
 //! cargo run --example quickstart
 //! ```
-
-use metacdn_suite::core::names;
-use metacdn_suite::dnssim::{QueryContext, RecursiveResolver};
-use metacdn_suite::dnswire::RecordType;
-use metacdn_suite::geo::{Duration, Locode, Registry, SimTime};
-use metacdn_suite::build_world_or_exit;
-use metacdn_suite::scenario::{loads, params, ScenarioConfig};
+//!
+//! The report itself lives in [`metacdn_suite::reports::quickstart_report`]
+//! so the golden-snapshot suite pins its exact output.
 
 fn main() {
-    // The calibrated iOS-11 world: topology, CDNs, mapping zones, probes.
-    let world = build_world_or_exit(&ScenarioConfig::fast());
-
-    // A client in Berlin, two days before the release.
-    let berlin = Registry::by_locode(Locode::parse("deber").unwrap()).unwrap();
-    let now = SimTime::from_ymd_hms(2017, 9, 17, 19, 0, 0);
-    loads::update_loads(&world, now); // publish controller inputs for `now`
-    let ctx = QueryContext {
-        client_ip: "84.17.10.23".parse().unwrap(),
-        locode: berlin.locode,
-        coord: berlin.coord,
-        continent: berlin.continent,
-        now,
-    };
-
-    // Resolve appldnld.apple.com through the full mapping chain.
-    let mut resolver = RecursiveResolver::new();
-    let (trace, result) = resolver.resolve(&world.ns, &names::entry(), RecordType::A, &ctx);
-    result.expect("the entry point always resolves");
-
-    println!("CNAME chain for {} (client: Berlin, {now}):", names::entry());
-    for (from, to, ttl) in trace.cname_edges() {
-        println!("  {from} --{ttl:>5}s--> {to}");
-    }
-    println!("answer:");
-    for ip in trace.addresses() {
-        let origin = world.topo.origin_of(ip).expect("announced address");
-        let who = world.topo.as_info(origin).map(|a| a.name.as_str()).unwrap_or("?");
-        let ptr = world
-            .apple
-            .ptr_lookup(ip)
-            .map(|n| n.fqdn())
-            .unwrap_or_else(|| "(no rDNS)".into());
-        println!("  {ip}  [{who}]  {ptr}");
-    }
-
-    // Re-resolve 30 seconds later: the 15-second selector TTL has lapsed, so
-    // the Meta-CDN may hand this client to a different CDN.
-    let mut later = ctx;
-    later.now = now + Duration::secs(30);
-    let (trace2, _) = resolver.resolve(&world.ns, &names::entry(), RecordType::A, &later);
-    let cached = trace2.steps.iter().filter(|s| s.from_cache).count();
-    println!(
-        "\nre-resolution 30 s later: {} of {} chain steps served from cache \
-(the 21600 s entry CNAME is pinned; the 15 s selector re-decides)",
-        cached,
-        trace2.steps.len()
-    );
-
-    // What the controller knows at this instant.
-    println!("\ncontroller snapshot: {:#?}", world.state.snapshot(now));
-    println!(
-        "\nApple EU capacity: {:.1} Tbps across {} edge-bx servers at {} sites; \
-release instant: {}",
-        world.apple_capacity_bps(metacdn_suite::geo::Region::Eu) / 1e12,
-        world.apple.total_bx(),
-        world.apple.sites().len(),
-        params::release()
-    );
+    print!("{}", metacdn_suite::reports::quickstart_report());
 }

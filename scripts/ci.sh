@@ -13,10 +13,17 @@ echo "==> cargo build --release"
 cargo build --release
 
 echo "==> cargo test"
-cargo test -q
+# --workspace: the root crate is a package, so a bare `cargo test` would
+# run only its integration suites and skip every member crate's units.
+cargo test -q --workspace
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace -- -D warnings
+
+echo "==> mcdn-obs: disabled-feature arm still compiles and passes"
+# The metrics layer must be compile-time removable: the no-default-
+# features build turns every record/trace call into a no-op.
+cargo test -q -p mcdn-obs --no-default-features
 
 echo "==> determinism: same seed, same campaign output"
 tmpdir="$(mktemp -d)"
@@ -66,10 +73,23 @@ diff -u "$tmpdir/poison1.txt" "$tmpdir/poison_noreuse.txt"
 echo "    reuse == full recompute on quiet + chaos + poisoning grids"
 
 echo "==> parallel determinism: MCDN_THREADS=1 vs MCDN_THREADS=4"
-MCDN_THREADS=1 cargo run --release -q -p mcdn-analysis --bin mcdn -- campaign global > "$tmpdir/t1.txt"
-MCDN_THREADS=4 cargo run --release -q -p mcdn-analysis --bin mcdn -- campaign global > "$tmpdir/t4.txt"
+MCDN_THREADS=1 cargo run --release -q -p mcdn-analysis --bin mcdn -- \
+  campaign global --metrics "$tmpdir/metrics_t1.jsonl" > "$tmpdir/t1.txt"
+MCDN_THREADS=4 cargo run --release -q -p mcdn-analysis --bin mcdn -- \
+  campaign global --metrics "$tmpdir/metrics_t4.jsonl" > "$tmpdir/t4.txt"
 diff -u "$tmpdir/t1.txt" "$tmpdir/t4.txt"
 echo "    identical ($(wc -l < "$tmpdir/t1.txt") lines)"
+
+echo "==> metrics determinism: deterministic export byte-identical across thread counts"
+# Lines tagged "det":false are process telemetry (reuse replays, shard
+# timings, dispatch histograms) and legitimately vary; everything else
+# must not. Stripping them must also leave a non-trivial export.
+grep -v '"det":false' "$tmpdir/metrics_t1.jsonl" > "$tmpdir/metrics_t1.det"
+grep -v '"det":false' "$tmpdir/metrics_t4.jsonl" > "$tmpdir/metrics_t4.det"
+diff -u "$tmpdir/metrics_t1.det" "$tmpdir/metrics_t4.det"
+grep -q '"schema":"mcdn-obs-v1"' "$tmpdir/metrics_t1.det"
+grep -q '"name":"campaign.resolutions"' "$tmpdir/metrics_t1.det"
+echo "    identical ($(wc -l < "$tmpdir/metrics_t1.det") deterministic lines)"
 
 echo "==> crash recovery: SIGKILL mid-campaign, resume, byte-diff vs uninterrupted"
 # run1.txt above is the uninterrupted campaign (reuse enabled — the
@@ -102,7 +122,7 @@ if ! scripts/bench.sh --smoke "$tmpdir/BENCH_campaigns.json" > /dev/null; then
   echo "    gate failed once; retrying (single-core scheduler jitter tolerance)"
   scripts/bench.sh --smoke "$tmpdir/BENCH_campaigns.json" > /dev/null
 fi
-grep -q '"schema": "mcdn-bench-campaigns-v6"' "$tmpdir/BENCH_campaigns.json"
+grep -q '"schema": "mcdn-bench-campaigns-v7"' "$tmpdir/BENCH_campaigns.json"
 grep -q '"identical_across_threads": true' "$tmpdir/BENCH_campaigns.json"
 if grep -q '"identical_across_threads": false' "$tmpdir/BENCH_campaigns.json"; then
   echo "    FAIL: some campaign diverged across thread counts"; exit 1
@@ -111,7 +131,8 @@ for field in thread_counts memo_hit_rate wall_ms shard_walls p50_ms p90_ms max_m
              dispatch_overhead_ms speedup_vs_serial speedup_gate dispatch_microbench \
              scoped_over_pool traffic_batch_ticks available_parallelism \
              checkpoint_overhead_pct raw_overhead_pct noise_floor \
-             reuse_rate reused_resolutions reuse_gate ratio_vs_v5; do
+             reuse_rate reused_resolutions reuse_gate ratio_vs_v5 \
+             observability obs_overhead_pct budget_pct metrics trace_events; do
   grep -q "\"$field\"" "$tmpdir/BENCH_campaigns.json" || {
     echo "    FAIL: missing field $field"; exit 1; }
 done
@@ -123,6 +144,13 @@ echo "==> checkpoint overhead: journaled campaign within 5% of plain"
 overhead="$(grep -m1 '"checkpoint_overhead_pct"' "$tmpdir/BENCH_campaigns.json" \
   | sed 's/.*"checkpoint_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/')"
 echo "    checkpoint_overhead_pct = ${overhead}%"
+
+echo "==> observability overhead: metrics recording within 2% of disabled"
+# Same contract: bench_campaigns already failed the run if the gate
+# tripped; surface the measured number.
+obs_overhead="$(grep -m1 '"obs_overhead_pct"' "$tmpdir/BENCH_campaigns.json" \
+  | sed 's/.*"obs_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/')"
+echo "    obs_overhead_pct = ${obs_overhead}%"
 
 echo "==> alloc gate: steady-state resolve loop must not allocate"
 grep -q '"allocs_per_resolution": 0.0000' "$tmpdir/BENCH_campaigns.json" || {

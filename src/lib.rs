@@ -27,9 +27,12 @@ pub use mcdn_dnswire as dnswire;
 pub use mcdn_geo as geo;
 pub use mcdn_isp as isp;
 pub use mcdn_netsim as netsim;
+pub use mcdn_obs as obs;
 pub use mcdn_scenario as scenario;
 pub use mcdn_workload as workload;
 pub use metacdn as core;
+
+pub mod reports;
 
 /// Builds the scenario world for `cfg`, reporting a configuration error on
 /// stderr and exiting nonzero instead of panicking — the polite front door

@@ -13,7 +13,8 @@ use metacdn_suite::faults::FaultProfile;
 use metacdn_suite::geo::{Duration, SimTime};
 use metacdn_suite::scenario::dnscampaign::testhooks;
 use metacdn_suite::scenario::{
-    run_global_dns_resumable, run_global_dns_resumable_with, run_global_dns_threads,
+    run_global_dns_resumable, run_global_dns_resumable_with,
+    run_global_dns_resumable_with_observed, run_global_dns_threads,
     total_dark_scenario, CampaignError, CampaignRun, DnsCampaignResult, ResumeOptions,
     ScenarioConfig, World,
 };
@@ -240,6 +241,44 @@ fn world_build_reports_config_errors_instead_of_panicking() {
         Err(e) => {
             let msg = e.to_string();
             assert!(!msg.is_empty(), "error must render a diagnostic");
+        }
+    }
+}
+
+#[test]
+fn resumed_metrics_snapshot_is_byte_identical() {
+    let _guard = CAMPAIGNS.lock().unwrap();
+    // The deterministic metrics ride in the checkpoints: a campaign killed
+    // after any round and resumed must export the same `det_jsonl()` bytes
+    // as the uninterrupted run, for both fault profiles.
+    for (label, faults) in profiles() {
+        let cfg = tiny_cfg(faults);
+        let threads = 4;
+        let path = journal_path(&format!("obs-baseline-{label}"));
+        let _ = std::fs::remove_file(&path);
+        let world = build_world_or_exit(&cfg);
+        let (run, baseline_snap) =
+            run_global_dns_resumable_with_observed(&world, &cfg, &path, opts(threads, None))
+                .expect("uninterrupted observed run");
+        assert!(matches!(run, CampaignRun::Complete(_)));
+        let baseline = baseline_snap.det_jsonl();
+        let _ = std::fs::remove_file(&path);
+
+        for k in 1..TINY_ROUNDS {
+            let path = journal_path(&format!("obs-kill-{label}-{k}"));
+            let _ = std::fs::remove_file(&path);
+            run_partial(&cfg, &path, threads, k);
+            let world = build_world_or_exit(&cfg);
+            let (run, snap) =
+                run_global_dns_resumable_with_observed(&world, &cfg, &path, opts(threads, None))
+                    .expect("resumed observed run");
+            assert!(matches!(run, CampaignRun::Complete(_)));
+            assert_eq!(
+                snap.det_jsonl(),
+                baseline,
+                "[{label}] metrics export diverged after kill+resume at round {k}"
+            );
+            let _ = std::fs::remove_file(&path);
         }
     }
 }

@@ -232,4 +232,73 @@ proptest! {
         prop_assert_eq!(code.as_str(), &s);
         prop_assert_eq!(Locode::parse(&s.to_uppercase()), Some(code));
     }
+
+    /// Merging per-shard histograms is order-independent and associative,
+    /// and the merged result equals observing every sample into one
+    /// histogram — the property that makes the canonical shard-order merge
+    /// in `CampaignObs::absorb` produce thread-count-independent exports.
+    #[test]
+    fn obs_histogram_merge_is_shard_order_independent(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..50),
+            1..8,
+        ),
+        order in any::<u64>(),
+    ) {
+        use metacdn_suite::obs::Hist;
+        let per_shard: Vec<Hist> = shards
+            .iter()
+            .map(|samples| {
+                let mut h = Hist::new();
+                for &s in samples {
+                    h.observe(s);
+                }
+                h
+            })
+            .collect();
+
+        // Reference: all samples observed into a single histogram.
+        let mut reference = Hist::new();
+        for s in shards.iter().flatten() {
+            reference.observe(*s);
+        }
+
+        // Canonical order merge.
+        let mut canonical = Hist::new();
+        for h in &per_shard {
+            canonical.merge(h);
+        }
+
+        // A shuffled merge order, derived deterministically from `order`.
+        let mut indices: Vec<usize> = (0..per_shard.len()).collect();
+        let mut state = order | 1;
+        for i in (1..indices.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            indices.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let mut shuffled = Hist::new();
+        for &i in &indices {
+            shuffled.merge(&per_shard[i]);
+        }
+
+        // Associativity: left-fold of pairwise-merged halves.
+        let mid = per_shard.len() / 2;
+        let mut left = Hist::new();
+        for h in &per_shard[..mid] {
+            left.merge(h);
+        }
+        let mut right = Hist::new();
+        for h in &per_shard[mid..] {
+            right.merge(h);
+        }
+        let mut grouped = left;
+        grouped.merge(&right);
+
+        prop_assert_eq!(canonical.buckets(), reference.buckets());
+        prop_assert_eq!(canonical.count(), reference.count());
+        prop_assert_eq!(canonical.sum(), reference.sum());
+        prop_assert_eq!(canonical.buckets(), shuffled.buckets());
+        prop_assert_eq!(canonical.buckets(), grouped.buckets());
+        prop_assert_eq!(canonical.sum(), grouped.sum());
+    }
 }
